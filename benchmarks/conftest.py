@@ -1,0 +1,40 @@
+"""Shared profile for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at a reduced
+scale (the ``BENCH`` profile below) and is executed exactly once per session
+(``rounds=1``) because each run is itself a full experiment, not a micro-
+benchmark.  Run ``python -m repro.experiments.<name> full`` for results closer
+to paper scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentProfile
+
+#: Reduced-scale profile used by the pytest-benchmark targets.
+BENCH = ExperimentProfile(
+    name="quick",
+    num_trojans=30,
+    trigger_width=4,
+    training_steps=1536,
+    tgrl_training_steps=512,
+    k_patterns=96,
+    num_cliques=48,
+    num_probability_patterns=1024,
+    num_envs=2,
+    episode_length=25,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> ExperimentProfile:
+    """The reduced-scale experiment profile shared by all benchmarks."""
+    return BENCH
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

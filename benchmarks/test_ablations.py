@@ -1,0 +1,20 @@
+"""Benchmark running the design-choice ablations listed in DESIGN.md."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_design_choice_ablations(benchmark, bench_profile):
+    points = run_once(benchmark, ablations.run, design="c6288_like", profile=bench_profile)
+    print("\n" + ablations.report(points))
+    assert len(points) >= 5
+    by_label = {point.label: point for point in points}
+    # Larger k never reduces coverage (more sets can only add detections).
+    k_points = sorted(
+        (point for point in points if point.label.startswith("k = ")),
+        key=lambda point: int(point.label.split("=")[1]),
+    )
+    coverages = [point.coverage_percent for point in k_points]
+    assert coverages == sorted(coverages)
+    assert "reward |s|^2 (paper)" in by_label

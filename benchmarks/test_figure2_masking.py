@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 2: reward timing x masking combinations."""
+
+from conftest import run_once
+
+from repro.experiments import figure2
+
+
+def test_figure2_masking_combinations(benchmark, bench_profile):
+    results = run_once(benchmark, figure2.run, design="mips16_like", profile=bench_profile)
+    print("\n" + figure2.report(results))
+    by_combo = {(r.reward_mode, r.masking): r for r in results}
+    # Paper shape: masking never hurts the maximum compatible-set size, and the
+    # end-of-episode agents complete episodes at a higher rate than per-step ones.
+    assert (
+        by_combo[("per_step", True)].max_compatible
+        >= by_combo[("per_step", False)].max_compatible
+    )
+    assert (
+        by_combo[("end_of_episode", True)].episodes_per_minute
+        > by_combo[("per_step", True)].episodes_per_minute
+    )

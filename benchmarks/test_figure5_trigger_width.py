@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 5: coverage vs trigger width, DETERRENT vs TGRL."""
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5_trigger_width(benchmark, bench_profile):
+    points = run_once(
+        benchmark, figure5.run,
+        design="c6288_like", widths=(2, 4, 6, 8), profile=bench_profile,
+    )
+    print("\n" + figure5.report(points))
+    assert points
+    # Paper shape: DETERRENT's coverage stays at or above TGRL's for wide
+    # triggers, where TGRL's per-pattern probability of hitting all trigger
+    # nets collapses.
+    widest = points[-1]
+    assert widest.deterrent_coverage >= widest.tgrl_coverage

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 6: cumulative coverage vs number of patterns."""
+
+from conftest import run_once
+
+from repro.experiments import figure6
+
+
+def test_figure6_coverage_vs_patterns(benchmark, bench_profile):
+    curves = run_once(
+        benchmark, figure6.run,
+        designs=("c2670_like", "c6288_like"), profile=bench_profile,
+    )
+    print("\n" + figure6.report(curves))
+    for result in curves:
+        assert result.deterrent_curve
+        # Paper shape: DETERRENT reaches its final coverage with (far) fewer
+        # patterns than TGRL emits in total.
+        deterrent_final = result.deterrent_curve[-1]
+        tgrl_final = result.tgrl_curve[-1] if result.tgrl_curve else (0, 0.0)
+        assert deterrent_final[0] <= tgrl_final[0] or tgrl_final[0] == 0

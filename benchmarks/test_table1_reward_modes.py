@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table 1: per-step vs end-of-episode rewards (MIPS analogue)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_reward_modes(benchmark, bench_profile):
+    results = run_once(benchmark, table1.run, design="mips16_like", profile=bench_profile)
+    print("\n" + table1.report(results))
+    per_step = results["per_step"]
+    end_of_episode = results["end_of_episode"]
+    # Paper shape: end-of-episode rewards train faster (steps/minute) while the
+    # per-step agent finds at-least-as-large compatible sets.
+    assert end_of_episode.steps_per_minute > per_step.steps_per_minute
+    assert per_step.max_compatible >= 1
+    assert end_of_episode.max_compatible >= 1

@@ -1,0 +1,18 @@
+"""Benchmark regenerating the §4.5 threshold-transfer experiment."""
+
+from conftest import run_once
+
+from repro.experiments import transfer
+
+
+def test_transfer_across_thresholds(benchmark, bench_profile):
+    result = run_once(
+        benchmark, transfer.run,
+        design="c6288_like", train_threshold=0.14, eval_threshold=0.10,
+        profile=bench_profile,
+    )
+    print("\n" + transfer.report(result))
+    # Paper shape: an agent trained on the larger rare-net population still
+    # covers Trojans drawn from the smaller one (99% in the paper).
+    assert result.train_rare_nets >= result.eval_rare_nets
+    assert result.coverage_percent > 0.0

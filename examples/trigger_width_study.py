@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Study how trigger width affects detectability (the paper's Figure 5 scenario).
+
+DETERRENT and TGRL pattern sets are generated once for the c6288 analogue and
+then evaluated against Trojan populations of increasing trigger width.  The
+paper's message — the set-cover formulation stays effective as triggers get
+rarer while pattern-space RL collapses — is visible directly in the printed
+sweep.
+
+Run with:  python examples/trigger_width_study.py
+"""
+
+from repro.experiments import figure5
+from repro.experiments.common import QUICK
+
+
+def main() -> None:
+    points = figure5.run(design="c6288_like", widths=(2, 4, 6, 8, 10), profile=QUICK)
+    print(figure5.report(points))
+    if points:
+        last = points[-1]
+        print(
+            f"\nAt trigger width {last.width}: DETERRENT {last.deterrent_coverage:.1f}% "
+            f"vs TGRL {last.tgrl_coverage:.1f}% "
+            f"(paper: DETERRENT stays ~steady while TGRL drops sharply)"
+        )
+
+
+if __name__ == "__main__":
+    main()

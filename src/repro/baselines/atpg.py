@@ -1,0 +1,70 @@
+"""TestMAX-style ATPG proxy.
+
+The paper compares against Synopsys TestMAX running plain stuck-at ATPG
+(``run_atpg`` in the default setting).  Such a tool targets *individual*
+faults: it excels at setting one net to a value and propagating it, but it
+never tries to satisfy several rare conditions simultaneously, which is why
+its trigger coverage in Table 2 is very low.  The proxy reproduces that
+behaviour: one SAT justification per rare net (targeting the rare value, which
+subsumes the corresponding stuck-at fault's activation condition), followed by
+simple pattern compaction.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Netlist
+from repro.core.patterns import PatternSet
+from repro.sat.justify import Justifier
+from repro.simulation.logic_sim import BitParallelSimulator
+from repro.simulation.rare_nets import RareNet
+
+
+def atpg_pattern_set(
+    netlist: Netlist,
+    rare_nets: list[RareNet],
+    justifier: Justifier | None = None,
+    compact: bool = True,
+) -> PatternSet:
+    """One justification pattern per rare net, with optional compaction.
+
+    With ``compact=True`` a new pattern is kept only if it activates at least
+    one rare net that no previously kept pattern activates — mimicking the
+    test-compaction step of an industrial ATPG flow and keeping the pattern
+    count in the same ballpark as TestMAX's (tens to low hundreds).
+    """
+    justifier = justifier or Justifier(netlist)
+    assignments: list[dict[str, int]] = []
+    targeted: list[str] = []
+    for rare in rare_nets:
+        witness = justifier.witness({rare.net: rare.rare_value})
+        if witness is None:
+            continue
+        assignments.append(witness)
+        targeted.append(rare.net)
+
+    pattern_set = PatternSet.from_assignments(netlist, assignments, technique="ATPG")
+    if not compact or len(pattern_set) == 0:
+        return pattern_set
+
+    simulator = BitParallelSimulator(netlist)
+    values = simulator.run_patterns(pattern_set.patterns)
+    covered: set[str] = set()
+    keep: list[int] = []
+    for index in range(len(pattern_set)):
+        newly_covered = {
+            rare.net
+            for rare in rare_nets
+            if rare.net not in covered and values[rare.net][index] == rare.rare_value
+        }
+        if newly_covered:
+            keep.append(index)
+            covered.update(newly_covered)
+    return PatternSet(
+        sources=pattern_set.sources,
+        patterns=pattern_set.patterns[keep],
+        technique="ATPG",
+        metadata={"targeted_rare_nets": len(targeted)},
+    )
+
+
+__all__ = ["atpg_pattern_set"]

@@ -1,0 +1,102 @@
+"""MERO: statistical N-detection test generation [Chakraborty et al., CHES 2009].
+
+MERO's hypothesis is that if every rare net is driven to its rare value at
+least ``N`` times by the test set, the set is likely to activate unknown
+triggers.  The algorithm starts from a large pool of random patterns and
+greedily mutates each pattern bit by bit, keeping a flip whenever it increases
+the number of rare nets activated, then retains the patterns that contribute
+to the N-detection goal.  The paper uses MERO as the historical baseline that
+works on small circuits but scales poorly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.core.patterns import PatternSet
+from repro.simulation.logic_sim import BitParallelSimulator
+from repro.simulation.rare_nets import RareNet
+from repro.utils.rng import RngLike, make_rng
+
+
+@dataclass
+class MeroConfig:
+    """MERO hyper-parameters."""
+
+    num_random_patterns: int = 512
+    n_detect: int = 5
+    max_bit_flips_per_pattern: int | None = None
+    seed: int = 0
+
+
+def _activation_counts(
+    simulator: BitParallelSimulator, patterns: np.ndarray, rare_nets: list[RareNet]
+) -> np.ndarray:
+    """Matrix ``[pattern, rare_net]`` of rare-value activations."""
+    values = simulator.run_patterns(patterns)
+    matrix = np.zeros((patterns.shape[0], len(rare_nets)), dtype=bool)
+    for column, rare in enumerate(rare_nets):
+        matrix[:, column] = values[rare.net] == rare.rare_value
+    return matrix
+
+
+def mero_pattern_set(
+    netlist: Netlist,
+    rare_nets: list[RareNet],
+    config: MeroConfig | None = None,
+    seed: RngLike = None,
+) -> PatternSet:
+    """Run the MERO algorithm and return the selected pattern set."""
+    config = config or MeroConfig()
+    rng = make_rng(seed if seed is not None else config.seed)
+    simulator = BitParallelSimulator(netlist)
+    sources = simulator.sources
+    num_sources = len(sources)
+    if not rare_nets:
+        return PatternSet.empty(netlist, technique="MERO")
+
+    patterns = rng.integers(0, 2, size=(config.num_random_patterns, num_sources), dtype=np.uint8)
+    activation = _activation_counts(simulator, patterns, rare_nets)
+    # Sort patterns by decreasing number of rare nets they already activate
+    # (MERO processes the most promising patterns first).
+    order = np.argsort(-activation.sum(axis=1))
+    patterns = patterns[order]
+    activation = activation[order]
+
+    detection_counts = np.zeros(len(rare_nets), dtype=np.int64)
+    selected: list[np.ndarray] = []
+    max_flips = config.max_bit_flips_per_pattern or num_sources
+
+    for pattern_index in range(patterns.shape[0]):
+        if np.all(detection_counts >= config.n_detect):
+            break
+        pattern = patterns[pattern_index].copy()
+        best_active = _activation_counts(simulator, pattern[None, :], rare_nets)[0]
+        flip_order = rng.permutation(num_sources)[:max_flips]
+        for bit in flip_order:
+            pattern[bit] ^= 1
+            active = _activation_counts(simulator, pattern[None, :], rare_nets)[0]
+            # Keep the flip only if it helps nets that still need detections.
+            needs = detection_counts < config.n_detect
+            if (active & needs).sum() > (best_active & needs).sum():
+                best_active = active
+            else:
+                pattern[bit] ^= 1
+        improves = bool((best_active & (detection_counts < config.n_detect)).any())
+        if improves:
+            selected.append(pattern.copy())
+            detection_counts += best_active
+    if not selected:
+        return PatternSet.empty(netlist, technique="MERO")
+    return PatternSet(
+        sources=sources,
+        patterns=np.stack(selected),
+        technique="MERO",
+        metadata={"n_detect": config.n_detect},
+    )
+
+
+__all__ = ["MeroConfig", "mero_pattern_set"]

@@ -1,0 +1,106 @@
+"""Primitive gate types and their Boolean semantics.
+
+Gates are the only combinational primitives in the netlist model.  Sequential
+elements (D flip-flops) are represented separately by the netlist and are
+removed by full-scan conversion before any analysis, mirroring the full scan
+access assumption of the paper (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class GateType(str, Enum):
+    """Supported combinational gate types."""
+
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+
+    @property
+    def is_inverting(self) -> bool:
+        """True for gates whose output is the complement of the base function."""
+        return self in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT)
+
+    @property
+    def min_inputs(self) -> int:
+        """Minimum legal fan-in for this gate type."""
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        return 2
+
+    @property
+    def max_inputs(self) -> int | None:
+        """Maximum legal fan-in, or None for unbounded."""
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        return None
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single combinational gate.
+
+    Attributes:
+        output: name of the net driven by this gate.
+        gate_type: the Boolean function computed.
+        inputs: names of the input nets, in order.
+    """
+
+    output: str
+    gate_type: GateType
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        n_inputs = len(self.inputs)
+        if n_inputs < self.gate_type.min_inputs:
+            raise ValueError(
+                f"{self.gate_type.value} gate driving {self.output!r} needs at "
+                f"least {self.gate_type.min_inputs} inputs, got {n_inputs}"
+            )
+        max_inputs = self.gate_type.max_inputs
+        if max_inputs is not None and n_inputs > max_inputs:
+            raise ValueError(
+                f"{self.gate_type.value} gate driving {self.output!r} accepts at "
+                f"most {max_inputs} inputs, got {n_inputs}"
+            )
+
+    @property
+    def fanin(self) -> int:
+        """Number of inputs."""
+        return len(self.inputs)
+
+
+def evaluate_gate(gate_type: GateType, values: list[int] | tuple[int, ...]) -> int:
+    """Evaluate a gate on scalar 0/1 input values.
+
+    This scalar evaluator is the reference semantics; the bit-parallel
+    simulator in :mod:`repro.simulation.logic_sim` implements the same
+    functions on packed 64-bit words and is property-tested against this one.
+    """
+    if not values:
+        raise ValueError("gate evaluation requires at least one input value")
+    if gate_type is GateType.AND:
+        return int(all(values))
+    if gate_type is GateType.NAND:
+        return int(not all(values))
+    if gate_type is GateType.OR:
+        return int(any(values))
+    if gate_type is GateType.NOR:
+        return int(not any(values))
+    if gate_type is GateType.XOR:
+        return int(sum(values) % 2)
+    if gate_type is GateType.XNOR:
+        return int((sum(values) + 1) % 2)
+    if gate_type is GateType.NOT:
+        return int(not values[0])
+    if gate_type is GateType.BUF:
+        return int(bool(values[0]))
+    raise ValueError(f"unknown gate type: {gate_type!r}")

@@ -1,0 +1,175 @@
+"""Benchmark registry: the suite of circuits used by the experiments.
+
+Each entry is a laptop-scale structural analogue of one of the paper's
+benchmarks (see DESIGN.md §1 for the substitution rationale) plus the paper's
+reported metadata (gate count, number of rare nets at threshold 0.1) so the
+experiment reports can show paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.circuits import generators
+from repro.circuits.netlist import Netlist
+from repro.circuits.scan import ensure_combinational
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """One benchmark circuit and the paper's reported statistics for it."""
+
+    name: str
+    paper_name: str
+    build: Callable[[], Netlist]
+    paper_num_gates: int
+    paper_num_rare_nets: int
+    sequential: bool = False
+    description: str = ""
+
+
+def _entries() -> dict[str, BenchmarkEntry]:
+    return {
+        "c17": BenchmarkEntry(
+            name="c17",
+            paper_name="c17",
+            build=generators.c17,
+            paper_num_gates=6,
+            paper_num_rare_nets=0,
+            description="Real ISCAS-85 c17; used in unit tests and the quickstart.",
+        ),
+        "c2670_like": BenchmarkEntry(
+            name="c2670_like",
+            paper_name="c2670",
+            build=lambda: generators.alu_control_circuit(
+                "c2670_like", data_width=8, decoder_bits=5, num_comparators=3, seed=2670
+            ),
+            paper_num_gates=775,
+            paper_num_rare_nets=43,
+            description="ALU + interrupt-style decoder and comparator bank.",
+        ),
+        "c5315_like": BenchmarkEntry(
+            name="c5315_like",
+            paper_name="c5315",
+            build=lambda: generators.alu_control_circuit(
+                "c5315_like", data_width=10, decoder_bits=6, num_comparators=5, seed=5315
+            ),
+            paper_num_gates=2307,
+            paper_num_rare_nets=165,
+            description="Wider ALU/selector with larger decoder (more rare nets).",
+        ),
+        "c6288_like": BenchmarkEntry(
+            name="c6288_like",
+            paper_name="c6288",
+            build=lambda: generators.multiplier_circuit("c6288_like", width=6),
+            paper_num_gates=2416,
+            paper_num_rare_nets=186,
+            description="Array multiplier (same structure as the 16x16 c6288).",
+        ),
+        "c7552_like": BenchmarkEntry(
+            name="c7552_like",
+            paper_name="c7552",
+            build=lambda: generators.parity_decoder_circuit(
+                "c7552_like", data_width=12, decoder_bits=6, num_match_terms=8, seed=7552
+            ),
+            paper_num_gates=3513,
+            paper_num_rare_nets=282,
+            description="Parity/ECC datapath with address decoding and match terms.",
+        ),
+        "s13207_like": BenchmarkEntry(
+            name="s13207_like",
+            paper_name="s13207",
+            build=lambda: generators.sequential_controller(
+                "s13207_like", state_bits=6, data_width=8, num_counters=2, seed=13207
+            ),
+            paper_num_gates=1801,
+            paper_num_rare_nets=604,
+            sequential=True,
+            description="Scan-converted FSM + counters with terminal-count strobes.",
+        ),
+        "s15850_like": BenchmarkEntry(
+            name="s15850_like",
+            paper_name="s15850",
+            build=lambda: generators.sequential_controller(
+                "s15850_like", state_bits=7, data_width=10, num_counters=2, seed=15850
+            ),
+            paper_num_gates=2412,
+            paper_num_rare_nets=649,
+            sequential=True,
+            description="Larger scan-converted controller.",
+        ),
+        "s35932_like": BenchmarkEntry(
+            name="s35932_like",
+            paper_name="s35932",
+            build=lambda: generators.sequential_controller(
+                "s35932_like", state_bits=8, data_width=12, num_counters=3, seed=35932
+            ),
+            paper_num_gates=4736,
+            paper_num_rare_nets=1151,
+            sequential=True,
+            description="Widest scan-converted controller in the suite.",
+        ),
+        "mips16_like": BenchmarkEntry(
+            name="mips16_like",
+            paper_name="MIPS",
+            build=lambda: generators.mips16_circuit(
+                "mips16_like", data_width=8, num_registers=4, seed=16
+            ),
+            paper_num_gates=23511,
+            paper_num_rare_nets=1005,
+            description="Single-cycle MIPS-style datapath slice with opcode decoding.",
+        ),
+    }
+
+
+_REGISTRY = _entries()
+
+#: Benchmarks used for the paper's Table 2 (everything except c17).
+TABLE2_BENCHMARKS = (
+    "c2670_like",
+    "c5315_like",
+    "c6288_like",
+    "c7552_like",
+    "s13207_like",
+    "s15850_like",
+    "s35932_like",
+    "mips16_like",
+)
+
+
+def benchmark_suite() -> tuple[str, ...]:
+    """Names of all registered benchmarks."""
+    return tuple(_REGISTRY)
+
+
+def benchmark_entry(name: str) -> BenchmarkEntry:
+    """Return the registry entry for ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        available = ", ".join(_REGISTRY)
+        raise KeyError(f"unknown benchmark {name!r}; available: {available}") from None
+
+
+def load_benchmark(name: str, *, combinational_view: bool = True) -> Netlist:
+    """Build a benchmark circuit by name.
+
+    With ``combinational_view=True`` (the default) sequential benchmarks are
+    returned after full-scan conversion, matching the paper's full-scan-access
+    assumption; pass False to obtain the raw sequential netlist.
+    """
+    entry = benchmark_entry(name)
+    netlist = entry.build()
+    if combinational_view:
+        return ensure_combinational(netlist)
+    return netlist
+
+
+__all__ = [
+    "BenchmarkEntry",
+    "TABLE2_BENCHMARKS",
+    "benchmark_suite",
+    "benchmark_entry",
+    "load_benchmark",
+]

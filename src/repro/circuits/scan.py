@@ -1,0 +1,67 @@
+"""Full-scan conversion of sequential netlists.
+
+The paper assumes full scan access for sequential circuits (§4.1): every
+flip-flop can be loaded and observed through the scan chain, so for test
+generation the flip-flop outputs behave as extra (pseudo) primary inputs and
+the flip-flop inputs behave as extra (pseudo) primary outputs.
+
+:func:`full_scan` performs that transformation explicitly, returning a purely
+combinational netlist on which simulation, SAT justification, rare-net
+extraction and Trojan insertion all operate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ScanInfo:
+    """Book-keeping produced by full-scan conversion.
+
+    Attributes:
+        pseudo_inputs: flip-flop Q nets that became controllable inputs.
+        pseudo_outputs: flip-flop D nets that became observable outputs.
+    """
+
+    pseudo_inputs: tuple[str, ...]
+    pseudo_outputs: tuple[str, ...]
+
+
+def full_scan(netlist: Netlist) -> tuple[Netlist, ScanInfo]:
+    """Convert a sequential netlist into its full-scan combinational view.
+
+    Flip-flop Q nets become primary inputs; D nets become primary outputs
+    (when not already outputs).  Purely combinational netlists are returned
+    as copies with empty scan info.
+    """
+    scanned = Netlist(f"{netlist.name}_scan")
+    for net in netlist.inputs:
+        scanned.add_input(net)
+    pseudo_inputs = []
+    pseudo_outputs = []
+    for ff in netlist.flip_flops:
+        scanned.add_input(ff.q)
+        pseudo_inputs.append(ff.q)
+    for gate in netlist.gates:
+        scanned.add_gate(gate.output, gate.gate_type, gate.inputs)
+    for net in netlist.outputs:
+        scanned.add_output(net)
+    for ff in netlist.flip_flops:
+        if not scanned.is_output(ff.d):
+            scanned.add_output(ff.d)
+            pseudo_outputs.append(ff.d)
+    return scanned, ScanInfo(tuple(pseudo_inputs), tuple(pseudo_outputs))
+
+
+def ensure_combinational(netlist: Netlist) -> Netlist:
+    """Return a combinational view of ``netlist`` (full-scan if sequential)."""
+    if not netlist.is_sequential:
+        return netlist
+    scanned, _info = full_scan(netlist)
+    return scanned
+
+
+__all__ = ["ScanInfo", "full_scan", "ensure_combinational"]

@@ -1,0 +1,47 @@
+"""Summary statistics of a netlist.
+
+Used by the experiment reports (Table 2 reports gate counts and rare-net
+counts per design) and by the examples to describe the circuits they run on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Aggregate structural statistics of a netlist."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    num_flip_flops: int
+    depth: int
+    gate_type_counts: dict[str, int]
+
+    @property
+    def num_nets(self) -> int:
+        """Total number of driven nets."""
+        return self.num_inputs + self.num_gates + self.num_flip_flops
+
+
+def netlist_stats(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a netlist."""
+    counts = Counter(gate.gate_type.value for gate in netlist.gates)
+    return NetlistStats(
+        name=netlist.name,
+        num_inputs=len(netlist.inputs),
+        num_outputs=len(netlist.outputs),
+        num_gates=netlist.num_gates,
+        num_flip_flops=len(netlist.flip_flops),
+        depth=netlist.depth,
+        gate_type_counts=dict(counts),
+    )
+
+
+__all__ = ["NetlistStats", "netlist_stats"]

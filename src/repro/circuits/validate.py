@@ -1,0 +1,75 @@
+"""Structural validation of netlists.
+
+Validation catches construction mistakes early: undriven nets, dangling logic,
+combinational cycles, and output nets without drivers.  The benchmark
+generators and the Trojan-insertion transform both validate their results, and
+the property-based tests assert that every generated circuit passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.netlist import Netlist
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_netlist`."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found (warnings are allowed)."""
+        return not self.errors
+
+
+def validate_netlist(netlist: Netlist, *, strict: bool = False) -> ValidationReport:
+    """Check structural invariants of a netlist.
+
+    Errors: undriven gate inputs, undriven primary outputs, undriven flip-flop
+    data inputs, combinational cycles.  Warnings: nets that drive nothing and
+    are not primary outputs ("dangling" logic).  With ``strict=True`` warnings
+    are promoted to errors.
+    """
+    report = ValidationReport()
+
+    for gate in netlist.gates:
+        for source in gate.inputs:
+            if not netlist.has_driver(source):
+                report.errors.append(
+                    f"gate {gate.output!r} input {source!r} has no driver"
+                )
+    for net in netlist.outputs:
+        if not netlist.has_driver(net):
+            report.errors.append(f"primary output {net!r} has no driver")
+    for ff in netlist.flip_flops:
+        if not netlist.has_driver(ff.d):
+            report.errors.append(f"flip-flop {ff.q!r} data input {ff.d!r} has no driver")
+
+    try:
+        netlist.topological_gates()
+    except ValueError as exc:
+        report.errors.append(str(exc))
+
+    consumed: set[str] = set()
+    for gate in netlist.gates:
+        consumed.update(gate.inputs)
+    for ff in netlist.flip_flops:
+        consumed.add(ff.d)
+    for gate in netlist.gates:
+        if gate.output not in consumed and not netlist.is_output(gate.output):
+            report.warnings.append(f"net {gate.output!r} drives nothing")
+    for net in netlist.inputs:
+        if net not in consumed and not netlist.is_output(net):
+            report.warnings.append(f"primary input {net!r} is unused")
+
+    if strict and report.warnings:
+        report.errors.extend(report.warnings)
+        report.warnings = []
+    return report
+
+
+__all__ = ["ValidationReport", "validate_netlist"]

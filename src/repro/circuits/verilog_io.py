@@ -1,0 +1,120 @@
+"""Structural Verilog export and a restricted gate-level Verilog reader.
+
+The paper's flow consumes gate-level Verilog netlists (and evaluates them with
+Synopsys VCS).  This module provides the equivalent interchange path: the
+writer emits one primitive instance per gate (``and``, ``or``, ``nand``,
+``nor``, ``xor``, ``xnor``, ``not``, ``buf``) and the reader accepts netlists
+written in that same restricted structural subset.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+
+_PRIMITIVES = {
+    GateType.AND: "and",
+    GateType.OR: "or",
+    GateType.NAND: "nand",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+    GateType.NOT: "not",
+    GateType.BUF: "buf",
+}
+_PRIMITIVE_TO_GATE = {name: gate for gate, name in _PRIMITIVES.items()}
+
+
+class VerilogParseError(ValueError):
+    """Raised when structural Verilog cannot be parsed by the restricted reader."""
+
+
+def _sanitize(net: str) -> str:
+    """Escape net names that are not plain Verilog identifiers."""
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", net):
+        return net
+    return f"\\{net} "
+
+
+def dumps_verilog(netlist: Netlist) -> str:
+    """Serialise a netlist to structural Verilog."""
+    inputs = list(netlist.inputs)
+    outputs = list(netlist.outputs)
+    ports = ", ".join(_sanitize(net).strip() for net in inputs + outputs)
+    lines = [f"module {netlist.name} ({ports});"]
+    for net in inputs:
+        lines.append(f"  input {_sanitize(net)};")
+    for net in outputs:
+        lines.append(f"  output {_sanitize(net)};")
+    declared = set(inputs) | set(outputs)
+    wires = []
+    for gate in netlist.topological_gates():
+        if gate.output not in declared:
+            wires.append(gate.output)
+            declared.add(gate.output)
+    for ff in netlist.flip_flops:
+        if ff.q not in declared:
+            wires.append(ff.q)
+            declared.add(ff.q)
+    for wire in wires:
+        lines.append(f"  wire {_sanitize(wire)};")
+    for index, ff in enumerate(netlist.flip_flops):
+        lines.append(
+            f"  // DFF {index}: {_sanitize(ff.q)} samples {_sanitize(ff.d)}"
+        )
+        lines.append(f"  dff dff_{index} ({_sanitize(ff.q)}, {_sanitize(ff.d)});")
+    for index, gate in enumerate(netlist.topological_gates()):
+        primitive = _PRIMITIVES[gate.gate_type]
+        args = ", ".join(_sanitize(net) for net in (gate.output, *gate.inputs))
+        lines.append(f"  {primitive} g_{index} ({args});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def dump_verilog(netlist: Netlist, path: str | Path) -> None:
+    """Write structural Verilog to a file."""
+    Path(path).write_text(dumps_verilog(netlist))
+
+
+_INSTANCE = re.compile(
+    r"^\s*(?P<prim>and|or|nand|nor|xor|xnor|not|buf|dff)\s+\S+\s*\((?P<args>[^)]*)\)\s*;\s*$"
+)
+_PORT_DECL = re.compile(r"^\s*(?P<kind>input|output|wire)\s+(?P<nets>[^;]+);\s*$")
+
+
+def loads_verilog(text: str, name: str | None = None) -> Netlist:
+    """Parse restricted structural Verilog produced by :func:`dumps_verilog`."""
+    module_match = re.search(r"module\s+(\S+)\s*\(", text)
+    netlist = Netlist(name or (module_match.group(1) if module_match else "top"))
+    outputs: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//", 1)[0].strip()
+        if not line or line.startswith(("module", "endmodule")):
+            continue
+        decl = _PORT_DECL.match(line)
+        if decl is not None:
+            nets = [net.strip().lstrip("\\").strip() for net in decl.group("nets").split(",")]
+            if decl.group("kind") == "input":
+                for net in nets:
+                    netlist.add_input(net)
+            elif decl.group("kind") == "output":
+                outputs.extend(nets)
+            continue
+        instance = _INSTANCE.match(line)
+        if instance is None:
+            raise VerilogParseError(f"cannot parse line: {raw_line!r}")
+        args = [arg.strip().lstrip("\\").strip() for arg in instance.group("args").split(",")]
+        primitive = instance.group("prim")
+        if primitive == "dff":
+            netlist.add_flip_flop(args[0], args[1])
+        else:
+            netlist.add_gate(args[0], _PRIMITIVE_TO_GATE[primitive], args[1:])
+    for net in outputs:
+        netlist.add_output(net)
+    return netlist
+
+
+__all__ = ["VerilogParseError", "dumps_verilog", "dump_verilog", "loads_verilog"]

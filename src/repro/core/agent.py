@@ -1,0 +1,93 @@
+"""The DETERRENT agent: PPO training plus maximal-set extraction.
+
+The agent wraps the trigger-activation environment in a vectorised PPO
+trainer, records the compatible set reached at the end of every episode, and
+after training returns the ``k`` largest *distinct* sets — exactly the
+artefacts the paper's SAT stage turns into test patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compatibility import CompatibilityAnalysis
+from repro.core.config import DeterrentConfig
+from repro.core.environment import TriggerActivationEnv
+from repro.rl.env import VectorizedEnvironment
+from repro.rl.ppo import PpoTrainer, TrainingSummary
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass
+class AgentResult:
+    """Output of one training run of the DETERRENT agent."""
+
+    summary: TrainingSummary
+    distinct_sets: list[frozenset[int]] = field(default_factory=list)
+    max_compatible_set_size: int = 0
+
+    def largest_sets(self, k: int) -> list[frozenset[int]]:
+        """The ``k`` largest distinct compatible sets (ties broken deterministically)."""
+        ranked = sorted(self.distinct_sets, key=lambda s: (-len(s), sorted(s)))
+        return ranked[:k]
+
+
+class DeterrentAgent:
+    """Trains the RL agent of the paper on one compatibility analysis."""
+
+    def __init__(self, compatibility: CompatibilityAnalysis, config: DeterrentConfig) -> None:
+        self.compatibility = compatibility
+        self.config = config
+        self.environments = self._build_environments()
+        self.trainer = PpoTrainer(
+            self.environments, config=config.effective_ppo(), seed=config.seed
+        )
+
+    def _build_environments(self) -> VectorizedEnvironment:
+        rngs = spawn_rngs(self.config.seed, self.config.num_envs)
+        instances = [
+            TriggerActivationEnv(
+                self.compatibility,
+                episode_length=self.config.episode_length,
+                reward_mode=self.config.reward_mode,
+                masking=self.config.masking,
+                reward_power=self.config.reward_power,
+                exact_set_reward=self.config.exact_set_reward,
+                seed=rng,
+            )
+            for rng in rngs
+        ]
+        return VectorizedEnvironment(instances)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(self, total_steps: int | None = None) -> AgentResult:
+        """Train for ``total_steps`` environment steps (default from the config)."""
+        steps = total_steps if total_steps is not None else self.config.total_training_steps
+        summary = self.trainer.train(steps)
+        return self.harvest(summary)
+
+    def harvest(self, summary: TrainingSummary) -> AgentResult:
+        """Collect the distinct compatible sets observed at episode ends."""
+        seen: dict[frozenset[int], None] = {}
+        max_size = 0
+        for info in summary.episode_infos:
+            selected = info.get("selected_indices")
+            if not selected:
+                continue
+            seen.setdefault(frozenset(selected), None)
+            max_size = max(max_size, len(selected))
+        return AgentResult(
+            summary=summary,
+            distinct_sets=list(seen),
+            max_compatible_set_size=max_size,
+        )
+
+    @property
+    def total_reward_checks(self) -> int:
+        """Number of exact SAT reward evaluations across all environment copies."""
+        return sum(env.reward_checks for env in self.environments.environments)
+
+
+__all__ = ["DeterrentAgent", "AgentResult"]

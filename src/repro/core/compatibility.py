@@ -1,0 +1,141 @@
+"""Pairwise compatibility of rare nets (the paper's offline phase).
+
+Two rare nets are *compatible* when some input pattern drives both to their
+rare values simultaneously.  DETERRENT precomputes the full pairwise
+compatibility dictionary before training (§3.3) so that action masking and the
+end-of-episode state transitions become dictionary lookups instead of SAT
+calls.  The paper parallelises this over 64 processes; here a single
+incremental SAT solver answers all pairs (the circuit is encoded once and each
+pair is an assumption-based query), which is fast enough at benchmark scale.
+
+The same structure doubles as the compatibility *graph* used by the TARMAC
+baseline's maximal-clique sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.sat.justify import Justifier
+from repro.simulation.rare_nets import RareNet
+
+
+@dataclass
+class CompatibilityAnalysis:
+    """Rare-net compatibility data for one netlist.
+
+    Attributes:
+        netlist: the analysed (combinational) netlist.
+        rare_nets: the rare nets that are individually activatable, in the
+            order used for all matrix/vector indexing.
+        matrix: boolean pairwise-compatibility matrix; ``matrix[i, j]`` is True
+            iff rare nets ``i`` and ``j`` can take their rare values together.
+        unsatisfiable: rare nets from the input list that can never take their
+            rare value (redundant/constant logic) and were dropped.
+    """
+
+    netlist: Netlist
+    rare_nets: list[RareNet]
+    matrix: np.ndarray
+    unsatisfiable: list[RareNet]
+    justifier: Justifier
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_rare_nets(self) -> int:
+        """Number of individually-activatable rare nets."""
+        return len(self.rare_nets)
+
+    def index_of(self, net: str) -> int:
+        """Index of a rare net by name."""
+        for index, rare in enumerate(self.rare_nets):
+            if rare.net == net:
+                return index
+        raise KeyError(f"net {net!r} is not among the analysed rare nets")
+
+    def compatible(self, index_a: int, index_b: int) -> bool:
+        """Pairwise compatibility by index."""
+        return bool(self.matrix[index_a, index_b])
+
+    def compatible_with_all(self, candidate: int, selected: set[int]) -> bool:
+        """True if ``candidate`` is pairwise compatible with every selected index."""
+        if not selected:
+            return True
+        selected_indices = np.fromiter(selected, dtype=np.int64)
+        return bool(self.matrix[candidate, selected_indices].all())
+
+    def requirements(self, indices: set[int] | list[int]) -> dict[str, int]:
+        """Net -> rare-value mapping for a set of rare-net indices."""
+        return {
+            self.rare_nets[index].net: self.rare_nets[index].rare_value
+            for index in indices
+        }
+
+    def set_is_satisfiable(self, indices: set[int] | list[int]) -> bool:
+        """Exact SAT check: can all indexed rare nets take their rare values at once?"""
+        if not indices:
+            return True
+        return self.justifier.is_satisfiable(self.requirements(indices))
+
+    def adjacency(self) -> dict[int, set[int]]:
+        """Compatibility graph as an adjacency mapping (used by TARMAC)."""
+        graph: dict[int, set[int]] = {i: set() for i in range(self.num_rare_nets)}
+        rows, cols = np.nonzero(self.matrix)
+        for row, col in zip(rows, cols):
+            if row != col:
+                graph[int(row)].add(int(col))
+        return graph
+
+
+def compute_compatibility(
+    netlist: Netlist,
+    rare_nets: list[RareNet],
+    *,
+    n_workers: int = 1,
+    justifier: Justifier | None = None,
+) -> CompatibilityAnalysis:
+    """Build the :class:`CompatibilityAnalysis` for ``rare_nets`` of ``netlist``.
+
+    ``n_workers`` is accepted for interface parity with the paper's
+    64-process precomputation but the computation is sequential: the
+    incremental SAT solver makes each pair query cheap enough that process
+    parallelism is unnecessary at this scale.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    justifier = justifier or Justifier(netlist)
+
+    activatable: list[RareNet] = []
+    unsatisfiable: list[RareNet] = []
+    for rare in rare_nets:
+        if justifier.is_satisfiable({rare.net: rare.rare_value}):
+            activatable.append(rare)
+        else:
+            unsatisfiable.append(rare)
+
+    count = len(activatable)
+    matrix = np.zeros((count, count), dtype=bool)
+    np.fill_diagonal(matrix, True)
+    for i in range(count):
+        for j in range(i + 1, count):
+            compatible = justifier.are_compatible(
+                {activatable[i].net: activatable[i].rare_value},
+                {activatable[j].net: activatable[j].rare_value},
+            )
+            matrix[i, j] = compatible
+            matrix[j, i] = compatible
+    return CompatibilityAnalysis(
+        netlist=netlist,
+        rare_nets=activatable,
+        matrix=matrix,
+        unsatisfiable=unsatisfiable,
+        justifier=justifier,
+    )
+
+
+__all__ = ["CompatibilityAnalysis", "compute_compatibility"]

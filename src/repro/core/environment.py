@@ -1,0 +1,183 @@
+"""The trigger-activation Markov decision process (§3.1–§3.3 of the paper).
+
+- **State**: the set of compatible rare nets accumulated so far, represented
+  as a binary vector over the rare nets (footnote 4 of the paper).
+- **Action**: pick one rare net.
+- **Transition**: if the chosen net is compatible with the current set, it is
+  added; otherwise the state is unchanged.
+- **Reward**: the squared size of the new set for compatible choices, zero
+  otherwise; optionally delayed until the end of the episode (§3.2).
+- **Masking**: actions already selected or known (from the pairwise
+  compatibility dictionary) to be incompatible with the current set are
+  masked off (§3.3); the episode ends early when no action remains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compatibility import CompatibilityAnalysis
+from repro.rl.env import Environment, StepResult
+from repro.utils.rng import RngLike, make_rng
+
+
+class TriggerActivationEnv(Environment):
+    """RL environment whose episodes build maximal sets of compatible rare nets."""
+
+    def __init__(
+        self,
+        compatibility: CompatibilityAnalysis,
+        episode_length: int = 40,
+        reward_mode: str = "end_of_episode",
+        masking: bool = True,
+        reward_power: float = 2.0,
+        exact_set_reward: bool = True,
+        seed: RngLike = None,
+    ) -> None:
+        if compatibility.num_rare_nets == 0:
+            raise ValueError("the compatibility analysis contains no activatable rare nets")
+        if reward_mode not in ("per_step", "end_of_episode"):
+            raise ValueError(
+                f"reward_mode must be 'per_step' or 'end_of_episode', got {reward_mode!r}"
+            )
+        self.compatibility = compatibility
+        self.episode_length = episode_length
+        self.reward_mode = reward_mode
+        self.masking = masking
+        self.reward_power = reward_power
+        self.exact_set_reward = exact_set_reward
+        self._rng = make_rng(seed)
+        self._selected: set[int] = set()
+        self._steps = 0
+        self.reward_checks = 0
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Environment interface
+    # ------------------------------------------------------------------
+    @property
+    def observation_dim(self) -> int:
+        """One observation entry per rare net (binary membership vector)."""
+        return self.compatibility.num_rare_nets
+
+    @property
+    def num_actions(self) -> int:
+        """One action per rare net."""
+        return self.compatibility.num_rare_nets
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode from a singleton state with a random rare net."""
+        initial = int(self._rng.integers(self.compatibility.num_rare_nets))
+        self._selected = {initial}
+        self._steps = 0
+        return self._observation()
+
+    def action_mask(self) -> np.ndarray:
+        """Mask of actions that lead to a *new* state (1 = allowed).
+
+        Without masking every action is allowed, as in the paper's unmasked
+        ablation.  With masking, actions already in the state or pairwise
+        incompatible with it are removed; if that leaves nothing, the mask
+        keeps all actions valid (the episode will terminate on the next step).
+        """
+        if not self.masking:
+            return np.ones(self.num_actions, dtype=np.float64)
+        mask = self._valid_action_mask()
+        if mask.sum() == 0:
+            return np.ones(self.num_actions, dtype=np.float64)
+        return mask
+
+    def step(self, action: int) -> StepResult:
+        """Apply the paper's deterministic transition and reward rules.
+
+        In per-step mode the "compatible with the current state" test is the
+        exact joint-satisfiability check (this is the expensive evaluation the
+        paper performs every step); in end-of-episode mode the transition uses
+        the precomputed pairwise dictionary and the exact check only happens
+        once, when the episode's reward is computed.
+        """
+        if not 0 <= action < self.num_actions:
+            raise ValueError(f"action {action} out of range [0, {self.num_actions})")
+        self._steps += 1
+        accepted = self._is_compatible_choice(action)
+        if (
+            accepted
+            and self.reward_mode == "per_step"
+            and self.exact_set_reward
+        ):
+            self.reward_checks += 1
+            accepted = self.compatibility.set_is_satisfiable(self._selected | {action})
+        if accepted:
+            self._selected.add(action)
+
+        exhausted = self.masking and self._valid_action_mask().sum() == 0
+        done = self._steps >= self.episode_length or exhausted
+
+        reward = 0.0
+        if self.reward_mode == "per_step":
+            if accepted:
+                reward = float(len(self._selected) ** self.reward_power)
+        elif done:
+            reward = self._set_reward()
+
+        info: dict = {}
+        if done:
+            info = {
+                "selected_indices": frozenset(self._selected),
+                "selected_nets": tuple(
+                    self.compatibility.rare_nets[index].net for index in sorted(self._selected)
+                ),
+                "size": len(self._selected),
+            }
+        return StepResult(self._observation(), reward, done, info)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _observation(self) -> np.ndarray:
+        observation = np.zeros(self.observation_dim, dtype=np.float64)
+        for index in self._selected:
+            observation[index] = 1.0
+        return observation
+
+    def _valid_action_mask(self) -> np.ndarray:
+        matrix = self.compatibility.matrix
+        selected = np.fromiter(self._selected, dtype=np.int64)
+        compatible_with_all = matrix[:, selected].all(axis=1)
+        compatible_with_all[selected] = False
+        return compatible_with_all.astype(np.float64)
+
+    def _is_compatible_choice(self, action: int) -> bool:
+        """Transition test: pairwise compatibility with the accumulated set."""
+        if action in self._selected:
+            return False
+        return self.compatibility.compatible_with_all(action, self._selected)
+
+    def _set_reward(self) -> float:
+        """Reward of the current state: |state|^power, SAT-verified if configured.
+
+        With ``exact_set_reward`` the accumulated set is verified by a full SAT
+        query; if the pairwise-compatible set is not jointly satisfiable, the
+        reward falls back to the largest satisfiable prefix found by greedily
+        dropping the most recently added nets.  This is the expensive check
+        whose frequency the paper's end-of-episode reward reduces (§3.2).
+        """
+        if not self.exact_set_reward:
+            return float(len(self._selected) ** self.reward_power)
+        self.reward_checks += 1
+        if self.compatibility.set_is_satisfiable(self._selected):
+            return float(len(self._selected) ** self.reward_power)
+        satisfiable_size = self._largest_satisfiable_subset_size()
+        return float(satisfiable_size**self.reward_power)
+
+    def _largest_satisfiable_subset_size(self) -> int:
+        ordered = sorted(self._selected)
+        while len(ordered) > 1:
+            ordered.pop()
+            self.reward_checks += 1
+            if self.compatibility.set_is_satisfiable(ordered):
+                return len(ordered)
+        return 1
+
+
+__all__ = ["TriggerActivationEnv"]

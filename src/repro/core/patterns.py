@@ -1,0 +1,150 @@
+"""Test-pattern generation from compatible rare-net sets (and pattern containers).
+
+A :class:`PatternSet` is the interface shared by DETERRENT and every baseline:
+an ordered list of input patterns over the controllable nets of a netlist.
+The Trojan evaluator consumes pattern sets; the experiments compare their
+sizes and trigger coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.core.compatibility import CompatibilityAnalysis
+from repro.sat.justify import Justifier
+
+
+@dataclass
+class PatternSet:
+    """An ordered set of test patterns for one netlist.
+
+    Attributes:
+        sources: the controllable nets, defining the column order of ``patterns``.
+        patterns: 0/1 array of shape ``(num_patterns, len(sources))``.
+        technique: name of the generating technique (for reports).
+        metadata: free-form extra information (e.g. the compatible set sizes).
+    """
+
+    sources: tuple[str, ...]
+    patterns: np.ndarray
+    technique: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.patterns = np.atleast_2d(np.asarray(self.patterns, dtype=np.uint8))
+        if self.patterns.size and self.patterns.shape[1] != len(self.sources):
+            raise ValueError(
+                f"pattern width {self.patterns.shape[1]} does not match "
+                f"{len(self.sources)} source nets"
+            )
+
+    def __len__(self) -> int:
+        return 0 if self.patterns.size == 0 else self.patterns.shape[0]
+
+    @classmethod
+    def empty(cls, netlist: Netlist, technique: str = "") -> "PatternSet":
+        """An empty pattern set for ``netlist``."""
+        sources = netlist.combinational_sources()
+        return cls(sources=sources, patterns=np.zeros((0, len(sources)), dtype=np.uint8),
+                   technique=technique)
+
+    @classmethod
+    def from_assignments(
+        cls,
+        netlist: Netlist,
+        assignments: list[dict[str, int]],
+        technique: str = "",
+        metadata: dict | None = None,
+    ) -> "PatternSet":
+        """Build a pattern set from per-pattern net-name -> value mappings."""
+        sources = netlist.combinational_sources()
+        array = np.zeros((len(assignments), len(sources)), dtype=np.uint8)
+        for row, assignment in enumerate(assignments):
+            for column, net in enumerate(sources):
+                array[row, column] = 1 if assignment.get(net, 0) else 0
+        return cls(sources=sources, patterns=array, technique=technique,
+                   metadata=metadata or {})
+
+    def truncated(self, max_patterns: int) -> "PatternSet":
+        """The first ``max_patterns`` patterns (used for coverage-vs-length curves)."""
+        return PatternSet(
+            sources=self.sources,
+            patterns=self.patterns[:max_patterns],
+            technique=self.technique,
+            metadata=dict(self.metadata),
+        )
+
+    def concatenated(self, other: "PatternSet") -> "PatternSet":
+        """Concatenate two pattern sets over identical sources."""
+        if self.sources != other.sources:
+            raise ValueError("pattern sets target different source nets")
+        return PatternSet(
+            sources=self.sources,
+            patterns=np.vstack([self.patterns, other.patterns]) if len(other) else self.patterns,
+            technique=self.technique or other.technique,
+            metadata={**other.metadata, **self.metadata},
+        )
+
+
+def generate_patterns(
+    compatibility: CompatibilityAnalysis,
+    compatible_sets: list[frozenset[int]],
+    technique: str = "DETERRENT",
+) -> PatternSet:
+    """Generate one test pattern per compatible set using the SAT solver.
+
+    Mirrors the last stage of the paper's flow: each of the ``k`` largest
+    distinct sets of compatible rare nets is justified by the SAT solver,
+    yielding an input pattern that drives every net in the set to its rare
+    value.  Sets that turn out not to be jointly satisfiable (possible when
+    the environment only used the pairwise approximation) are repaired by
+    greedily dropping their least-rare nets until a witness exists.
+    """
+    justifier = compatibility.justifier
+    netlist = compatibility.netlist
+    assignments: list[dict[str, int]] = []
+    realized_sizes: list[int] = []
+    for indices in compatible_sets:
+        requirements = compatibility.requirements(indices)
+        witness = justifier.witness(requirements)
+        if witness is None:
+            witness, requirements = _repair_set(compatibility, justifier, indices)
+            if witness is None:
+                continue
+        assignments.append(witness)
+        realized_sizes.append(len(requirements))
+    return PatternSet.from_assignments(
+        netlist,
+        assignments,
+        technique=technique,
+        metadata={"set_sizes": realized_sizes},
+    )
+
+
+def _repair_set(
+    compatibility: CompatibilityAnalysis,
+    justifier: Justifier,
+    indices: frozenset[int],
+) -> tuple[dict[str, int] | None, dict[str, int]]:
+    """Shrink a jointly-unsatisfiable set to a maximal satisfiable subset.
+
+    Nets are re-added greedily (rarest first), keeping each net only if the
+    accumulated requirement set stays satisfiable.  This retains as many rare
+    nets as possible, unlike simply truncating the set.
+    """
+    ordered = sorted(indices, key=lambda i: compatibility.rare_nets[i].probability)
+    kept: list[int] = []
+    for index in ordered:
+        candidate = kept + [index]
+        if justifier.is_satisfiable(compatibility.requirements(candidate)):
+            kept.append(index)
+    if not kept:
+        return None, {}
+    requirements = compatibility.requirements(kept)
+    return justifier.witness(requirements), requirements
+
+
+__all__ = ["PatternSet", "generate_patterns"]

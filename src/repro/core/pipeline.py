@@ -1,0 +1,114 @@
+"""End-to-end DETERRENT pipeline.
+
+``DeterrentPipeline.run(netlist)`` performs the full flow of Figure 4:
+rare-net extraction → pairwise compatibility (offline phase) → PPO training on
+the trigger-activation MDP → selection of the k largest distinct compatible
+sets → SAT-based test-pattern generation, and returns everything an
+experiment needs (patterns, sets, timing, training statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.scan import ensure_combinational
+from repro.core.agent import AgentResult, DeterrentAgent
+from repro.core.compatibility import CompatibilityAnalysis, compute_compatibility
+from repro.core.config import DeterrentConfig
+from repro.core.patterns import PatternSet, generate_patterns
+from repro.simulation.rare_nets import RareNet, extract_rare_nets
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class DeterrentResult:
+    """All artefacts of one DETERRENT run on one netlist."""
+
+    netlist: Netlist
+    rare_nets: list[RareNet]
+    compatibility: CompatibilityAnalysis
+    agent_result: AgentResult
+    pattern_set: PatternSet
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def test_length(self) -> int:
+        """Number of generated test patterns (the paper's "Test Length")."""
+        return len(self.pattern_set)
+
+    @property
+    def max_compatible_set_size(self) -> int:
+        """Largest compatible rare-net set found during training."""
+        return self.agent_result.max_compatible_set_size
+
+
+class DeterrentPipeline:
+    """Runs the complete DETERRENT flow for a configuration."""
+
+    def __init__(self, config: DeterrentConfig | None = None) -> None:
+        self.config = config or DeterrentConfig()
+
+    def run(
+        self,
+        netlist: Netlist,
+        rare_nets: list[RareNet] | None = None,
+        compatibility: CompatibilityAnalysis | None = None,
+    ) -> DeterrentResult:
+        """Execute the pipeline on ``netlist``.
+
+        ``rare_nets`` and ``compatibility`` may be supplied to reuse a
+        previously computed offline phase (as the threshold-transfer
+        experiment of §4.5 does).
+        """
+        config = self.config
+        stopwatch = Stopwatch().start()
+        combinational = ensure_combinational(netlist)
+
+        if rare_nets is None:
+            rare_nets = extract_rare_nets(
+                combinational,
+                threshold=config.rareness_threshold,
+                num_patterns=config.num_probability_patterns,
+                seed=config.seed,
+            )
+        stopwatch.lap("rare_net_extraction")
+        if not rare_nets:
+            raise ValueError(
+                f"no rare nets found in {netlist.name!r} at threshold "
+                f"{config.rareness_threshold}; lower the threshold or use a larger circuit"
+            )
+
+        if compatibility is None:
+            compatibility = compute_compatibility(combinational, rare_nets)
+        stopwatch.lap("compatibility")
+        if compatibility.num_rare_nets == 0:
+            raise ValueError(
+                f"none of the {len(rare_nets)} rare nets of {netlist.name!r} is activatable"
+            )
+        # Bias SAT witnesses toward rare values so each generated pattern also
+        # activates unconstrained rare nets opportunistically (see Justifier).
+        compatibility.justifier.set_preferred_values(
+            {rare.net: rare.rare_value for rare in compatibility.rare_nets}
+        )
+
+        agent = DeterrentAgent(compatibility, config)
+        agent_result = agent.train()
+        stopwatch.lap("training")
+
+        selected_sets = agent_result.largest_sets(config.k_patterns)
+        pattern_set = generate_patterns(compatibility, selected_sets, technique="DETERRENT")
+        stopwatch.lap("pattern_generation")
+        stopwatch.stop()
+
+        return DeterrentResult(
+            netlist=combinational,
+            rare_nets=list(rare_nets),
+            compatibility=compatibility,
+            agent_result=agent_result,
+            pattern_set=pattern_set,
+            timings=dict(stopwatch.laps),
+        )
+
+
+__all__ = ["DeterrentPipeline", "DeterrentResult"]

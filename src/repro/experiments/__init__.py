@@ -1,0 +1,23 @@
+"""Experiment harnesses that regenerate every table and figure of the paper.
+
+Each module exposes ``run(profile=...)`` returning structured results and a
+``main()`` entry point that prints the same rows/series the paper reports
+(paper reference values alongside the measured ones).  Modules:
+
+- :mod:`repro.experiments.table1`   — reward-timing comparison (Table 1).
+- :mod:`repro.experiments.table2`   — coverage / test-length comparison (Table 2).
+- :mod:`repro.experiments.figure2`  — reward × masking combinations (Figure 2).
+- :mod:`repro.experiments.figure3`  — loss trends, default vs boosted exploration (Figure 3).
+- :mod:`repro.experiments.figure5`  — trigger-width sweep (Figure 5).
+- :mod:`repro.experiments.figure6`  — coverage vs number of patterns (Figure 6).
+- :mod:`repro.experiments.figure7`  — rareness-threshold sweep (Figure 7).
+- :mod:`repro.experiments.transfer` — §4.5 threshold-transfer experiment.
+- :mod:`repro.experiments.ablations`— design-choice ablations from DESIGN.md.
+
+Every harness supports the ``quick`` profile (seconds-to-minutes, used by the
+benchmark suite) and the ``full`` profile (closer to paper scale).
+"""
+
+from repro.experiments.common import ExperimentProfile, QUICK, FULL, prepare_benchmark
+
+__all__ = ["ExperimentProfile", "QUICK", "FULL", "prepare_benchmark"]

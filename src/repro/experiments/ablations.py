@@ -1,0 +1,90 @@
+"""Ablations of DETERRENT's design choices (DESIGN.md §5).
+
+Beyond the comparisons the paper reports, this harness quantifies the effect
+of three design choices on one benchmark:
+
+1. reward shape — linear vs squared set size (the paper argues for convexity);
+2. exact vs pairwise-only set verification in the reward;
+3. the number of kept sets ``k`` — pattern count vs coverage trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.agent import DeterrentAgent
+from repro.core.patterns import generate_patterns
+from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
+from repro.experiments.reporting import format_table
+from repro.trojan.evaluation import trigger_coverage
+
+
+@dataclass
+class AblationPoint:
+    """One ablation configuration and its outcome."""
+
+    label: str
+    max_compatible: int
+    test_length: int
+    coverage_percent: float
+
+
+def _evaluate(context, agent_result, profile, k_patterns) -> tuple[int, float]:
+    patterns = generate_patterns(
+        context.compatibility, agent_result.largest_sets(k_patterns), technique="DETERRENT"
+    )
+    coverage = trigger_coverage(context.netlist, context.trojans, patterns)
+    return len(patterns), coverage.coverage_percent
+
+
+def run(design: str = "c6288_like", profile: ExperimentProfile = QUICK) -> list[AblationPoint]:
+    """Run the ablation grid on one design."""
+    context = prepare_benchmark(design, profile)
+    points: list[AblationPoint] = []
+
+    # 1. Reward shape: linear vs squared.
+    for power, label in ((1.0, "reward |s| (linear)"), (2.0, "reward |s|^2 (paper)")):
+        config = profile.deterrent_config(reward_power=power)
+        agent_result = DeterrentAgent(context.compatibility, config).train()
+        length, coverage = _evaluate(context, agent_result, profile, profile.k_patterns)
+        points.append(AblationPoint(label, agent_result.max_compatible_set_size, length, coverage))
+
+    # 2. Exact vs pairwise-only set verification.
+    config = profile.deterrent_config(exact_set_reward=False)
+    agent_result = DeterrentAgent(context.compatibility, config).train()
+    length, coverage = _evaluate(context, agent_result, profile, profile.k_patterns)
+    points.append(AblationPoint(
+        "pairwise-only compatibility", agent_result.max_compatible_set_size, length, coverage
+    ))
+
+    # 3. k sweep on the paper-default agent.
+    config = profile.deterrent_config()
+    agent_result = DeterrentAgent(context.compatibility, config).train()
+    for k in (profile.k_patterns // 4, profile.k_patterns // 2, profile.k_patterns):
+        if k <= 0:
+            continue
+        length, coverage = _evaluate(context, agent_result, profile, k)
+        points.append(AblationPoint(
+            f"k = {k}", agent_result.max_compatible_set_size, length, coverage
+        ))
+    return points
+
+
+def report(points: list[AblationPoint]) -> str:
+    """Format the ablation grid."""
+    headers = ["Configuration", "Max #compat", "Test length", "Coverage (%)"]
+    rows = [[p.label, p.max_compatible, p.test_length, p.coverage_percent] for p in points]
+    return format_table(headers, rows)
+
+
+def main(profile_name: str = "quick") -> None:
+    """Command-line entry point: ``python -m repro.experiments.ablations``."""
+    from repro.experiments.common import profile_by_name
+
+    print(report(run(profile=profile_by_name(profile_name))))
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "quick")

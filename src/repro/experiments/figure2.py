@@ -1,0 +1,84 @@
+"""Figure 2: reward-timing × masking combinations on the MIPS analogue.
+
+The paper compares four agent architectures — {reward at all steps,
+end-of-episode reward} × {masking, no masking} — on two axes: training rate in
+episodes/minute and the maximum number of compatible rare nets found.  The
+conclusion (replicated here) is that masking always helps, per-step rewards
+find the largest sets, and end-of-episode rewards train fastest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.agent import DeterrentAgent
+from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
+from repro.experiments.reporting import format_table
+
+#: Approximate values read from the paper's Figure 2 bar chart (MIPS).
+PAPER_FIGURE2 = {
+    ("per_step", False): {"episodes_per_min": 1, "max_compatible": 52},
+    ("per_step", True): {"episodes_per_min": 1, "max_compatible": 60},
+    ("end_of_episode", False): {"episodes_per_min": 55, "max_compatible": 50},
+    ("end_of_episode", True): {"episodes_per_min": 63, "max_compatible": 55},
+}
+
+
+@dataclass
+class ComboResult:
+    """Metrics of one (reward mode, masking) combination."""
+
+    reward_mode: str
+    masking: bool
+    episodes_per_minute: float
+    max_compatible: int
+
+
+def run(
+    design: str = "mips16_like", profile: ExperimentProfile = QUICK
+) -> list[ComboResult]:
+    """Train one agent per combination and collect Figure 2's metrics."""
+    context = prepare_benchmark(design, profile)
+    results: list[ComboResult] = []
+    for reward_mode in ("per_step", "end_of_episode"):
+        for masking in (False, True):
+            config = profile.deterrent_config(reward_mode=reward_mode, masking=masking)
+            agent = DeterrentAgent(context.compatibility, config)
+            agent_result = agent.train()
+            results.append(
+                ComboResult(
+                    reward_mode=reward_mode,
+                    masking=masking,
+                    episodes_per_minute=agent_result.summary.episodes_per_minute,
+                    max_compatible=agent_result.max_compatible_set_size,
+                )
+            )
+    return results
+
+
+def report(results: list[ComboResult]) -> str:
+    """Format the four combinations next to the paper's Figure 2 values."""
+    headers = ["Combination", "Eps/min", "Max #compat", "Paper eps/min", "Paper max"]
+    labels = {"per_step": "All rew", "end_of_episode": "Eoe rew"}
+    rows = []
+    for result in results:
+        label = f"{labels[result.reward_mode]} + {'M' if result.masking else 'NM'}"
+        paper = PAPER_FIGURE2[(result.reward_mode, result.masking)]
+        rows.append([
+            label, round(result.episodes_per_minute, 2), result.max_compatible,
+            paper["episodes_per_min"], paper["max_compatible"],
+        ])
+    return format_table(headers, rows)
+
+
+def main(profile_name: str = "quick") -> None:
+    """Command-line entry point: ``python -m repro.experiments.figure2``."""
+    from repro.experiments.common import profile_by_name
+
+    print(report(run(profile=profile_by_name(profile_name))))
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "quick")

@@ -1,0 +1,106 @@
+"""Figure 5: impact of the trigger width on trigger coverage (c6288).
+
+The paper sweeps the trigger width from 2 to 12 on c6288 and shows that
+TGRL's coverage collapses as the width grows while DETERRENT stays steady.
+The harness repeats the sweep on the c6288 analogue: both techniques generate
+their pattern sets once (trigger-width agnostic) and are evaluated against
+Trojan populations of each width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.tgrl import TgrlConfig, tgrl_pattern_set
+from repro.core.agent import DeterrentAgent
+from repro.core.patterns import generate_patterns
+from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
+from repro.experiments.reporting import format_table
+from repro.trojan.evaluation import trigger_coverage
+from repro.trojan.insertion import sample_trojans
+
+#: Default trigger widths from the paper's Figure 5.
+DEFAULT_WIDTHS = (2, 4, 6, 8, 10, 12)
+
+
+@dataclass
+class WidthPoint:
+    """Coverage of both techniques for one trigger width."""
+
+    width: int
+    num_trojans: int
+    deterrent_coverage: float
+    tgrl_coverage: float
+
+
+def run(
+    design: str = "c6288_like",
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+    profile: ExperimentProfile = QUICK,
+) -> list[WidthPoint]:
+    """Evaluate DETERRENT and TGRL pattern sets against each trigger width."""
+    context = prepare_benchmark(design, profile)
+
+    agent = DeterrentAgent(context.compatibility, profile.deterrent_config())
+    agent_result = agent.train()
+    deterrent_patterns = generate_patterns(
+        context.compatibility, agent_result.largest_sets(profile.k_patterns),
+        technique="DETERRENT",
+    )
+    tgrl_patterns = tgrl_pattern_set(
+        context.netlist,
+        context.compatibility.rare_nets,
+        TgrlConfig(
+            total_training_steps=profile.tgrl_training_steps,
+            num_envs=profile.num_envs,
+            seed=profile.seed,
+        ),
+    )
+
+    points: list[WidthPoint] = []
+    for width in widths:
+        if width > context.num_rare_nets:
+            continue
+        trojans = sample_trojans(
+            context.netlist,
+            context.compatibility.rare_nets,
+            num_trojans=profile.num_trojans,
+            trigger_width=width,
+            seed=profile.seed + width,
+            justifier=context.compatibility.justifier,
+        )
+        if not trojans:
+            continue
+        points.append(
+            WidthPoint(
+                width=width,
+                num_trojans=len(trojans),
+                deterrent_coverage=trigger_coverage(
+                    context.netlist, trojans, deterrent_patterns
+                ).coverage_percent,
+                tgrl_coverage=trigger_coverage(
+                    context.netlist, trojans, tgrl_patterns
+                ).coverage_percent,
+            )
+        )
+    return points
+
+
+def report(points: list[WidthPoint]) -> str:
+    """Format the width sweep (the paper plots these as two curves)."""
+    headers = ["Trigger width", "#HTs", "DETERRENT cov (%)", "TGRL cov (%)"]
+    rows = [[p.width, p.num_trojans, p.deterrent_coverage, p.tgrl_coverage] for p in points]
+    return format_table(headers, rows)
+
+
+def main(profile_name: str = "quick") -> None:
+    """Command-line entry point: ``python -m repro.experiments.figure5``."""
+    from repro.experiments.common import profile_by_name
+
+    print(report(run(profile=profile_by_name(profile_name))))
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "quick")

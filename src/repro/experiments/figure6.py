@@ -1,0 +1,103 @@
+"""Figure 6: trigger coverage vs number of test patterns (c2670 and c6288).
+
+The paper plots, for DETERRENT and TGRL, the cumulative trigger coverage as a
+function of how many of each technique's patterns have been applied; DETERRENT
+saturates with very few patterns.  The harness produces the same cumulative
+curves on the analogues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.tgrl import TgrlConfig, tgrl_pattern_set
+from repro.core.agent import DeterrentAgent
+from repro.core.patterns import generate_patterns
+from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
+from repro.experiments.reporting import format_table
+from repro.trojan.evaluation import coverage_curve
+
+#: Designs shown in the paper's Figure 6.
+DEFAULT_DESIGNS = ("c2670_like", "c6288_like")
+
+
+@dataclass
+class CurveResult:
+    """Coverage curves for one design."""
+
+    design: str
+    deterrent_curve: list[tuple[int, float]]
+    tgrl_curve: list[tuple[int, float]]
+
+    def patterns_to_reach(self, coverage_percent: float, technique: str = "deterrent") -> int | None:
+        """Smallest number of patterns reaching ``coverage_percent`` (None if never)."""
+        curve = self.deterrent_curve if technique == "deterrent" else self.tgrl_curve
+        for num_patterns, coverage in curve:
+            if coverage >= coverage_percent:
+                return num_patterns
+        return None
+
+
+def run(
+    designs: tuple[str, ...] = DEFAULT_DESIGNS, profile: ExperimentProfile = QUICK
+) -> list[CurveResult]:
+    """Compute cumulative coverage curves for DETERRENT and TGRL."""
+    results: list[CurveResult] = []
+    for design in designs:
+        context = prepare_benchmark(design, profile)
+        agent = DeterrentAgent(context.compatibility, profile.deterrent_config())
+        agent_result = agent.train()
+        deterrent_patterns = generate_patterns(
+            context.compatibility,
+            agent_result.largest_sets(profile.k_patterns),
+            technique="DETERRENT",
+        )
+        tgrl_patterns = tgrl_pattern_set(
+            context.netlist,
+            context.compatibility.rare_nets,
+            TgrlConfig(
+                total_training_steps=profile.tgrl_training_steps,
+                num_envs=profile.num_envs,
+                seed=profile.seed,
+            ),
+        )
+        results.append(
+            CurveResult(
+                design=design,
+                deterrent_curve=coverage_curve(context.netlist, context.trojans, deterrent_patterns),
+                tgrl_curve=coverage_curve(context.netlist, context.trojans, tgrl_patterns),
+            )
+        )
+    return results
+
+
+def report(results: list[CurveResult]) -> str:
+    """Summarise the curves: final coverage and patterns needed for 90% of it."""
+    headers = [
+        "Design", "Technique", "Test len", "Final cov (%)", "Patterns to 90% of final",
+    ]
+    rows: list[list[object]] = []
+    for result in results:
+        for technique, curve in (("DETERRENT", result.deterrent_curve),
+                                 ("TGRL", result.tgrl_curve)):
+            if not curve:
+                rows.append([result.design, technique, 0, 0.0, None])
+                continue
+            final = curve[-1][1]
+            target = 0.9 * final
+            reached = next((n for n, c in curve if c >= target), None)
+            rows.append([result.design, technique, curve[-1][0], final, reached])
+    return format_table(headers, rows)
+
+
+def main(profile_name: str = "quick") -> None:
+    """Command-line entry point: ``python -m repro.experiments.figure6``."""
+    from repro.experiments.common import profile_by_name
+
+    print(report(run(profile=profile_by_name(profile_name))))
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "quick")

@@ -1,0 +1,50 @@
+"""Plain-text reporting helpers shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    columns = [[str(header)] for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            columns[index].append(_format_cell(cell))
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row_index in range(len(rows)):
+        lines.append(
+            "  ".join(
+                columns[col][row_index + 1].ljust(widths[col]) for col in range(len(headers))
+            )
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if cell is None:
+        return "—"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def save_json(data: object, path: str | Path) -> Path:
+    """Serialise experiment results to JSON (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, default=str) + "\n")
+    return path
+
+
+def results_dir() -> Path:
+    """Default output directory for experiment artefacts."""
+    return Path("results")
+
+
+__all__ = ["format_table", "save_json", "results_dir"]

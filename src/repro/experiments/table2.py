@@ -1,0 +1,177 @@
+"""Table 2: trigger coverage and test length of all techniques on all designs.
+
+For every benchmark the harness runs Random, the TestMAX-style ATPG proxy,
+TARMAC, TGRL and DETERRENT, evaluates their pattern sets against the same
+population of randomly inserted width-4 Trojans, and prints the measured
+coverage / test-length rows next to the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.atpg import atpg_pattern_set
+from repro.baselines.random_patterns import random_pattern_set
+from repro.baselines.tarmac import TarmacConfig, tarmac_pattern_set
+from repro.baselines.tgrl import TgrlConfig, tgrl_pattern_set
+from repro.circuits.library import TABLE2_BENCHMARKS, benchmark_entry
+from repro.core.agent import DeterrentAgent
+from repro.core.patterns import PatternSet, generate_patterns
+from repro.experiments.common import (
+    QUICK,
+    BenchmarkContext,
+    ExperimentProfile,
+    PAPER_TABLE2,
+    prepare_benchmark,
+)
+from repro.experiments.reporting import format_table
+from repro.trojan.evaluation import trigger_coverage
+
+#: Benchmarks used by default in the quick profile (one representative per class).
+QUICK_DESIGNS = ("c2670_like", "c6288_like", "s13207_like", "mips16_like")
+
+
+@dataclass
+class TechniqueOutcome:
+    """Coverage and test length of one technique on one design."""
+
+    technique: str
+    test_length: int
+    coverage_percent: float
+
+
+@dataclass
+class Table2Row:
+    """All techniques' outcomes on one design."""
+
+    design: str
+    paper_design: str
+    num_rare_nets: int
+    num_gates: int
+    outcomes: dict[str, TechniqueOutcome] = field(default_factory=dict)
+
+
+def run_design(
+    context: BenchmarkContext,
+    profile: ExperimentProfile = QUICK,
+    techniques: tuple[str, ...] = ("Random", "ATPG", "TARMAC", "TGRL", "DETERRENT"),
+) -> Table2Row:
+    """Run the requested techniques on one prepared benchmark."""
+    entry = benchmark_entry(context.name)
+    row = Table2Row(
+        design=context.name,
+        paper_design=entry.paper_name,
+        num_rare_nets=context.num_rare_nets,
+        num_gates=context.netlist.num_gates,
+    )
+    pattern_sets: dict[str, PatternSet] = {}
+
+    if "TGRL" in techniques:
+        pattern_sets["TGRL"] = tgrl_pattern_set(
+            context.netlist,
+            context.compatibility.rare_nets,
+            TgrlConfig(
+                total_training_steps=profile.tgrl_training_steps,
+                num_envs=profile.num_envs,
+                seed=profile.seed,
+            ),
+        )
+    if "Random" in techniques:
+        # The paper sizes the random budget to TGRL's test length.
+        budget = len(pattern_sets.get("TGRL", [])) or profile.tgrl_training_steps
+        pattern_sets["Random"] = random_pattern_set(context.netlist, budget, seed=profile.seed)
+    if "ATPG" in techniques:
+        pattern_sets["ATPG"] = atpg_pattern_set(
+            context.netlist, context.compatibility.rare_nets, justifier=context.compatibility.justifier
+        )
+    if "TARMAC" in techniques:
+        pattern_sets["TARMAC"] = tarmac_pattern_set(
+            context.compatibility,
+            TarmacConfig(num_cliques=profile.num_cliques, seed=profile.seed),
+        )
+    if "DETERRENT" in techniques:
+        agent = DeterrentAgent(context.compatibility, profile.deterrent_config())
+        agent_result = agent.train()
+        selected = agent_result.largest_sets(profile.k_patterns)
+        pattern_sets["DETERRENT"] = generate_patterns(
+            context.compatibility, selected, technique="DETERRENT"
+        )
+
+    for technique, pattern_set in pattern_sets.items():
+        coverage = trigger_coverage(context.netlist, context.trojans, pattern_set)
+        row.outcomes[technique] = TechniqueOutcome(
+            technique=technique,
+            test_length=len(pattern_set),
+            coverage_percent=coverage.coverage_percent,
+        )
+    return row
+
+
+def run(
+    designs: tuple[str, ...] | None = None,
+    profile: ExperimentProfile = QUICK,
+    techniques: tuple[str, ...] = ("Random", "ATPG", "TARMAC", "TGRL", "DETERRENT"),
+) -> list[Table2Row]:
+    """Run the Table 2 comparison over the requested designs."""
+    if designs is None:
+        designs = QUICK_DESIGNS if profile.name == "quick" else TABLE2_BENCHMARKS
+    rows = []
+    for design in designs:
+        context = prepare_benchmark(design, profile)
+        rows.append(run_design(context, profile, techniques))
+    return rows
+
+
+def report(rows: list[Table2Row]) -> str:
+    """Format measured rows next to the paper's Table 2 values."""
+    headers = ["Design", "#rare", "Technique", "Test len", "Cov (%)",
+               "Paper len", "Paper cov (%)"]
+    table_rows: list[list[object]] = []
+    for row in rows:
+        paper = PAPER_TABLE2.get(row.paper_design, {})
+        for technique, outcome in row.outcomes.items():
+            paper_key = "TestMAX" if technique == "ATPG" else technique
+            paper_len, paper_cov = paper.get(paper_key, (None, None))
+            table_rows.append([
+                row.design, row.num_rare_nets, technique,
+                outcome.test_length, outcome.coverage_percent,
+                paper_len, paper_cov,
+            ])
+    return format_table(headers, table_rows)
+
+
+def reduction_vs_baselines(rows: list[Table2Row]) -> float:
+    """Average test-length reduction of DETERRENT vs TARMAC and TGRL.
+
+    Mirrors the paper's headline "169x fewer patterns" metric (computed over
+    designs where all three techniques produced patterns).
+    """
+    ratios: list[float] = []
+    for row in rows:
+        deterrent = row.outcomes.get("DETERRENT")
+        if deterrent is None or deterrent.test_length == 0:
+            continue
+        for baseline in ("TARMAC", "TGRL"):
+            outcome = row.outcomes.get(baseline)
+            if outcome is not None and outcome.test_length > 0:
+                ratios.append(outcome.test_length / deterrent.test_length)
+    if not ratios:
+        return 0.0
+    return sum(ratios) / len(ratios)
+
+
+def main(profile_name: str = "quick") -> None:
+    """Command-line entry point: ``python -m repro.experiments.table2 [quick|full]``."""
+    from repro.experiments.common import profile_by_name
+
+    profile = profile_by_name(profile_name)
+    rows = run(profile=profile)
+    print(report(rows))
+    print(f"\nAverage test-length reduction of DETERRENT vs TARMAC/TGRL: "
+          f"{reduction_vs_baselines(rows):.1f}x (paper: 169x)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "quick")

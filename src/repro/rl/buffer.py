@@ -1,0 +1,121 @@
+"""Rollout storage and Generalised Advantage Estimation (GAE).
+
+PPO collects a fixed number of steps from the (vectorised) environment, then
+computes per-step advantages and value targets with GAE(λ) before running the
+clipped-surrogate updates.  The λ parameter is one of the two "boosted
+exploration" knobs of the paper (§3.4): λ = 0.99 increases the variance of
+the advantage estimates, which in turn keeps the policy stochastic for longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class RolloutBatch:
+    """Flattened rollout data ready for minibatch updates."""
+
+    observations: np.ndarray
+    actions: np.ndarray
+    masks: np.ndarray
+    log_probs: np.ndarray
+    advantages: np.ndarray
+    returns: np.ndarray
+    values: np.ndarray
+
+
+class RolloutBuffer:
+    """Fixed-horizon rollout storage for a vectorised environment."""
+
+    def __init__(self, num_steps: int, num_envs: int, observation_dim: int, num_actions: int) -> None:
+        if num_steps <= 0 or num_envs <= 0:
+            raise ValueError("num_steps and num_envs must be positive")
+        self.num_steps = num_steps
+        self.num_envs = num_envs
+        self.observations = np.zeros((num_steps, num_envs, observation_dim))
+        self.actions = np.zeros((num_steps, num_envs), dtype=np.int64)
+        self.masks = np.ones((num_steps, num_envs, num_actions))
+        self.rewards = np.zeros((num_steps, num_envs))
+        self.dones = np.zeros((num_steps, num_envs), dtype=bool)
+        self.log_probs = np.zeros((num_steps, num_envs))
+        self.values = np.zeros((num_steps, num_envs))
+        self._cursor = 0
+
+    @property
+    def full(self) -> bool:
+        """True once ``num_steps`` transitions have been recorded."""
+        return self._cursor >= self.num_steps
+
+    def add(
+        self,
+        observations: np.ndarray,
+        actions: np.ndarray,
+        masks: np.ndarray,
+        rewards: np.ndarray,
+        dones: np.ndarray,
+        log_probs: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Record one vectorised transition."""
+        if self.full:
+            raise RuntimeError("rollout buffer is full; call reset() before adding")
+        step = self._cursor
+        self.observations[step] = observations
+        self.actions[step] = actions
+        self.masks[step] = masks
+        self.rewards[step] = rewards
+        self.dones[step] = dones
+        self.log_probs[step] = log_probs
+        self.values[step] = values
+        self._cursor += 1
+
+    def reset(self) -> None:
+        """Clear the cursor so the buffer can be reused for the next rollout."""
+        self._cursor = 0
+
+    def compute_returns(
+        self,
+        last_values: np.ndarray,
+        gamma: float,
+        gae_lambda: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """GAE(λ) advantages and discounted returns.
+
+        Args:
+            last_values: value estimates for the observation after the final
+                recorded step, shape ``(num_envs,)``.
+            gamma: discount factor.
+            gae_lambda: GAE smoothing parameter λ.
+        """
+        if not self.full:
+            raise RuntimeError("rollout buffer must be full before computing returns")
+        advantages = np.zeros_like(self.rewards)
+        last_advantage = np.zeros(self.num_envs)
+        next_values = last_values
+        for step in reversed(range(self.num_steps)):
+            non_terminal = 1.0 - self.dones[step].astype(np.float64)
+            delta = self.rewards[step] + gamma * next_values * non_terminal - self.values[step]
+            last_advantage = delta + gamma * gae_lambda * non_terminal * last_advantage
+            advantages[step] = last_advantage
+            next_values = self.values[step]
+        returns = advantages + self.values
+        return advantages, returns
+
+    def batch(self, advantages: np.ndarray, returns: np.ndarray) -> RolloutBatch:
+        """Flatten the rollout into a single batch."""
+        flat = lambda array: array.reshape(-1, *array.shape[2:])  # noqa: E731
+        return RolloutBatch(
+            observations=flat(self.observations),
+            actions=self.actions.reshape(-1),
+            masks=flat(self.masks),
+            log_probs=self.log_probs.reshape(-1),
+            advantages=advantages.reshape(-1),
+            returns=returns.reshape(-1),
+            values=self.values.reshape(-1),
+        )
+
+
+__all__ = ["RolloutBuffer", "RolloutBatch"]

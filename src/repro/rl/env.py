@@ -1,0 +1,104 @@
+"""Environment interface and a synchronous vectorised wrapper.
+
+The interface intentionally mirrors the Gym API the paper's PyTorch agent
+would have used (``reset`` / ``step``) and adds ``action_mask`` for invalid-
+action masking.  :class:`VectorizedEnvironment` is the equivalent of the
+16-process vectorised environment the paper uses for the MIPS benchmark
+(§4.1): it steps several independent environment copies per policy query so
+the expensive parts (reward computation) amortise across parallel episodes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class StepResult:
+    """Outcome of one environment step."""
+
+    observation: np.ndarray
+    reward: float
+    done: bool
+    info: dict
+
+
+class Environment(ABC):
+    """Discrete-action environment with observation vectors and action masks."""
+
+    @property
+    @abstractmethod
+    def observation_dim(self) -> int:
+        """Length of the observation vector."""
+
+    @property
+    @abstractmethod
+    def num_actions(self) -> int:
+        """Number of discrete actions."""
+
+    @abstractmethod
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+
+    @abstractmethod
+    def step(self, action: int) -> StepResult:
+        """Apply ``action`` and return the transition result."""
+
+    def action_mask(self) -> np.ndarray:
+        """Valid-action mask for the current state (1 = valid). Default: all valid."""
+        return np.ones(self.num_actions, dtype=np.float64)
+
+
+class VectorizedEnvironment:
+    """Synchronous batch of independent environment instances.
+
+    Episodes auto-reset: when an instance reports ``done`` its next
+    observation is the reset observation of a fresh episode, so the PPO
+    rollout never stalls.
+    """
+
+    def __init__(self, environments: list[Environment]) -> None:
+        if not environments:
+            raise ValueError("at least one environment is required")
+        dims = {env.observation_dim for env in environments}
+        actions = {env.num_actions for env in environments}
+        if len(dims) != 1 or len(actions) != 1:
+            raise ValueError("all environments must share observation/action spaces")
+        self.environments = environments
+        self.observation_dim = dims.pop()
+        self.num_actions = actions.pop()
+
+    def __len__(self) -> int:
+        return len(self.environments)
+
+    def reset(self) -> np.ndarray:
+        """Reset every instance; returns observations of shape (n_envs, obs_dim)."""
+        return np.stack([env.reset() for env in self.environments])
+
+    def action_masks(self) -> np.ndarray:
+        """Stack of per-instance action masks, shape (n_envs, num_actions)."""
+        return np.stack([env.action_mask() for env in self.environments])
+
+    def step(self, actions: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[dict]]:
+        """Step every instance; returns (observations, rewards, dones, infos)."""
+        if len(actions) != len(self.environments):
+            raise ValueError(
+                f"expected {len(self.environments)} actions, got {len(actions)}"
+            )
+        observations = np.zeros((len(self.environments), self.observation_dim))
+        rewards = np.zeros(len(self.environments))
+        dones = np.zeros(len(self.environments), dtype=bool)
+        infos: list[dict] = []
+        for index, (env, action) in enumerate(zip(self.environments, actions)):
+            result = env.step(int(action))
+            rewards[index] = result.reward
+            dones[index] = result.done
+            infos.append(result.info)
+            observations[index] = env.reset() if result.done else result.observation
+        return observations, rewards, dones, infos
+
+
+__all__ = ["Environment", "StepResult", "VectorizedEnvironment"]

@@ -1,0 +1,148 @@
+"""Minimal neural-network components in numpy: MLPs and the Adam optimiser.
+
+Only what PPO needs is implemented: fully-connected layers with tanh hidden
+activations, manual backpropagation, and Adam.  Shapes follow the batch-first
+convention (``(batch, features)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, make_rng
+
+
+class Mlp:
+    """Fully-connected network with tanh hidden layers and a linear output."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_sizes: tuple[int, ...],
+        output_dim: int,
+        seed: RngLike = None,
+    ) -> None:
+        if input_dim <= 0 or output_dim <= 0:
+            raise ValueError("input_dim and output_dim must be positive")
+        rng = make_rng(seed)
+        sizes = [input_dim, *hidden_sizes, output_dim]
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._cache: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Forward pass; caches activations for a subsequent backward pass."""
+        activations = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        self._cache = [activations]
+        for layer_index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            pre_activation = activations @ weight + bias
+            if layer_index < len(self.weights) - 1:
+                activations = np.tanh(pre_activation)
+            else:
+                activations = pre_activation
+            self._cache.append(activations)
+        return activations
+
+    def backward(self, grad_output: np.ndarray) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Backpropagate ``d loss / d output``; returns (weight grads, bias grads)."""
+        if len(self._cache) != len(self.weights) + 1:
+            raise RuntimeError("backward called without a preceding forward pass")
+        grad = np.asarray(grad_output, dtype=np.float64)
+        weight_grads: list[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+        bias_grads: list[np.ndarray] = [np.zeros_like(b) for b in self.biases]
+        for layer_index in reversed(range(len(self.weights))):
+            layer_input = self._cache[layer_index]
+            layer_output = self._cache[layer_index + 1]
+            if layer_index < len(self.weights) - 1:
+                grad = grad * (1.0 - layer_output**2)
+            weight_grads[layer_index] = layer_input.T @ grad
+            bias_grads[layer_index] = grad.sum(axis=0)
+            if layer_index > 0:
+                grad = grad @ self.weights[layer_index].T
+        return weight_grads, bias_grads
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        """Flat list of parameter arrays (weights then biases, per layer)."""
+        params: list[np.ndarray] = []
+        for weight, bias in zip(self.weights, self.biases):
+            params.append(weight)
+            params.append(bias)
+        return params
+
+    def apply_gradients(
+        self,
+        weight_grads: list[np.ndarray],
+        bias_grads: list[np.ndarray],
+    ) -> list[np.ndarray]:
+        """Interleave gradients in the same order as :attr:`parameters`."""
+        grads: list[np.ndarray] = []
+        for weight_grad, bias_grad in zip(weight_grads, bias_grads):
+            grads.append(weight_grad)
+            grads.append(bias_grad)
+        return grads
+
+
+class Adam:
+    """Adam optimiser over a list of parameter arrays (updated in place)."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        learning_rate: float = 3e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment = [np.zeros_like(p) for p in parameters]
+        self._second_moment = [np.zeros_like(p) for p in parameters]
+        self._step_count = 0
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        """Apply one Adam update given gradients aligned with ``parameters``."""
+        if len(gradients) != len(self.parameters):
+            raise ValueError(
+                f"expected {len(self.parameters)} gradient arrays, got {len(gradients)}"
+            )
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1**self._step_count
+        bias_correction2 = 1.0 - self.beta2**self._step_count
+        for index, (parameter, gradient) in enumerate(zip(self.parameters, gradients)):
+            first = self._first_moment[index]
+            second = self._second_moment[index]
+            first *= self.beta1
+            first += (1.0 - self.beta1) * gradient
+            second *= self.beta2
+            second += (1.0 - self.beta2) * gradient**2
+            corrected_first = first / bias_correction1
+            corrected_second = second / bias_correction2
+            parameter -= self.learning_rate * corrected_first / (
+                np.sqrt(corrected_second) + self.epsilon
+            )
+
+
+def clip_gradients(gradients: list[np.ndarray], max_norm: float) -> list[np.ndarray]:
+    """Globally clip gradients to ``max_norm`` (no-op if already within)."""
+    total = np.sqrt(sum(float(np.sum(g**2)) for g in gradients))
+    if total <= max_norm or total == 0.0:
+        return gradients
+    scale = max_norm / total
+    return [g * scale for g in gradients]
+
+
+__all__ = ["Mlp", "Adam", "clip_gradients"]

@@ -1,0 +1,131 @@
+"""Masked categorical policy and value function.
+
+The policy network maps an observation to logits over the discrete action
+space; invalid actions are masked by driving their logits to -inf before the
+softmax, which implements the paper's state-dependent action masking (§3.3)
+without ever sampling a masked action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rl.nn import Mlp
+from repro.utils.rng import RngLike, make_rng
+
+_MASK_VALUE = -1e9
+
+
+@dataclass
+class PolicyOutput:
+    """Result of evaluating the policy on a batch of observations."""
+
+    actions: np.ndarray
+    log_probs: np.ndarray
+    entropies: np.ndarray
+    probabilities: np.ndarray
+
+
+def masked_softmax(logits: np.ndarray, masks: np.ndarray | None) -> np.ndarray:
+    """Softmax with invalid entries forced to probability zero.
+
+    ``masks`` uses 1 for valid actions and 0 for invalid ones.  Rows whose
+    mask is all-zero raise, because sampling from them is undefined.
+    """
+    logits = np.atleast_2d(np.asarray(logits, dtype=np.float64))
+    if masks is not None:
+        masks = np.atleast_2d(np.asarray(masks, dtype=np.float64))
+        if masks.shape != logits.shape:
+            raise ValueError(f"mask shape {masks.shape} does not match logits {logits.shape}")
+        if np.any(masks.sum(axis=1) == 0):
+            raise ValueError("at least one action must be valid in every state")
+        logits = np.where(masks > 0, logits, _MASK_VALUE)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exponentials = np.exp(shifted)
+    if masks is not None:
+        exponentials = exponentials * (masks > 0)
+    return exponentials / exponentials.sum(axis=1, keepdims=True)
+
+
+class MaskedCategoricalPolicy:
+    """Actor-critic pair: a policy MLP and a value MLP with shared interface."""
+
+    def __init__(
+        self,
+        observation_dim: int,
+        num_actions: int,
+        hidden_sizes: tuple[int, ...] = (64, 64),
+        seed: RngLike = None,
+    ) -> None:
+        rng = make_rng(seed)
+        self.observation_dim = observation_dim
+        self.num_actions = num_actions
+        self.policy_net = Mlp(observation_dim, hidden_sizes, num_actions, seed=rng)
+        self.value_net = Mlp(observation_dim, hidden_sizes, 1, seed=rng)
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # Acting
+    # ------------------------------------------------------------------
+    def action_probabilities(
+        self, observations: np.ndarray, masks: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Action distribution for each observation row."""
+        logits = self.policy_net.forward(observations)
+        return masked_softmax(logits, masks)
+
+    def act(
+        self,
+        observations: np.ndarray,
+        masks: np.ndarray | None = None,
+        deterministic: bool = False,
+    ) -> PolicyOutput:
+        """Sample (or argmax-select) actions for a batch of observations."""
+        probabilities = self.action_probabilities(observations, masks)
+        batch_size = probabilities.shape[0]
+        if deterministic:
+            actions = probabilities.argmax(axis=1)
+        else:
+            cumulative = probabilities.cumsum(axis=1)
+            draws = self._rng.random((batch_size, 1))
+            actions = (draws < cumulative).argmax(axis=1)
+        chosen = probabilities[np.arange(batch_size), actions]
+        log_probs = np.log(np.clip(chosen, 1e-12, None))
+        entropies = -(probabilities * np.log(np.clip(probabilities, 1e-12, None))).sum(axis=1)
+        return PolicyOutput(
+            actions=actions,
+            log_probs=log_probs,
+            entropies=entropies,
+            probabilities=probabilities,
+        )
+
+    def value(self, observations: np.ndarray) -> np.ndarray:
+        """State-value estimates, shape ``(batch,)``."""
+        return self.value_net.forward(observations)[:, 0]
+
+    # ------------------------------------------------------------------
+    # Training-time evaluation (keeps caches for backprop)
+    # ------------------------------------------------------------------
+    def evaluate_actions(
+        self,
+        observations: np.ndarray,
+        actions: np.ndarray,
+        masks: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (log_probs, entropies, probabilities) for given actions.
+
+        The policy network's forward cache is left in place so the PPO update
+        can backpropagate through this evaluation.
+        """
+        logits = self.policy_net.forward(observations)
+        probabilities = masked_softmax(logits, masks)
+        batch = np.arange(probabilities.shape[0])
+        chosen = probabilities[batch, actions]
+        log_probs = np.log(np.clip(chosen, 1e-12, None))
+        entropies = -(probabilities * np.log(np.clip(probabilities, 1e-12, None))).sum(axis=1)
+        return log_probs, entropies, probabilities
+
+
+__all__ = ["MaskedCategoricalPolicy", "PolicyOutput", "masked_softmax"]

@@ -1,0 +1,21 @@
+"""SAT substrate: CNF structures, a CDCL solver, and circuit encodings.
+
+The paper uses the PicoSAT solver (via ``pycosat``) for two tasks: checking
+whether a set of rare nets is *compatible* (can simultaneously take their rare
+values) and generating an input pattern that witnesses a compatible set.  This
+subpackage provides both capabilities on top of a from-scratch CDCL solver.
+"""
+
+from repro.sat.cnf import CNF, Literal
+from repro.sat.solver import CdclSolver, SolverResult
+from repro.sat.encode import CircuitEncoder
+from repro.sat.justify import Justifier
+
+__all__ = [
+    "CNF",
+    "Literal",
+    "CdclSolver",
+    "SolverResult",
+    "CircuitEncoder",
+    "Justifier",
+]

@@ -1,0 +1,394 @@
+"""A CDCL (conflict-driven clause learning) SAT solver.
+
+This is the library's replacement for the PicoSAT/pycosat solver the paper
+uses.  The implementation follows the MiniSat architecture:
+
+- two-watched-literal unit propagation,
+- first-UIP conflict analysis with clause learning,
+- VSIDS-style variable activities with exponential decay,
+- phase saving,
+- geometric restarts,
+- incremental solving under assumptions.
+
+Incremental assumptions matter for this reproduction: pairwise compatibility
+of ``r`` rare nets requires ``O(r^2)`` satisfiability queries on the *same*
+circuit encoding, so the encoder builds one CNF and the compatibility analysis
+re-solves it under different assumption literals, keeping learned clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sat.cnf import CNF, Literal
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a SAT query."""
+
+    satisfiable: bool
+    model: dict[int, bool] | None = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def value(self, variable: int) -> bool:
+        """Value of ``variable`` in the model (SAT results only)."""
+        if self.model is None:
+            raise ValueError("no model available: formula was unsatisfiable")
+        return self.model.get(variable, False)
+
+
+_UNASSIGNED = -1
+
+
+class CdclSolver:
+    """Incremental CDCL solver over a :class:`~repro.sat.cnf.CNF` formula."""
+
+    def __init__(self, cnf: CNF | None = None, *, decay: float = 0.95,
+                 restart_base: int = 100, restart_growth: float = 1.5) -> None:
+        self._num_vars = 0
+        self._clauses: list[list[Literal]] = []
+        self._watches: dict[Literal, list[int]] = {}
+        self._assign: list[int] = [_UNASSIGNED]  # index 0 unused
+        self._level: list[int] = [0]
+        self._reason: list[int] = [-1]
+        self._phase: list[bool] = [False]
+        self._activity: list[float] = [0.0]
+        self._trail: list[Literal] = []
+        self._trail_limits: list[int] = []
+        self._queue_head = 0
+        self._decay = decay
+        self._bump = 1.0
+        self._restart_base = restart_base
+        self._restart_growth = restart_growth
+        self._conflicts = 0
+        self._decisions = 0
+        self._propagations = 0
+        self._unsat = False
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def add_cnf(self, cnf: CNF) -> None:
+        """Load all clauses of ``cnf`` into the solver."""
+        self._ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+
+    def add_clause(self, literals: list[Literal]) -> None:
+        """Add a clause; may only be called at decision level 0."""
+        if self._trail_limits:
+            raise RuntimeError("clauses can only be added at decision level 0")
+        clause = sorted(set(literals), key=abs)
+        if any(-lit in clause for lit in clause):
+            return  # tautology
+        self._ensure_vars(max((abs(lit) for lit in clause), default=0))
+        clause = [lit for lit in clause if self._literal_value(lit) is not False]
+        if any(self._literal_value(lit) is True for lit in clause):
+            return
+        if not clause:
+            self._unsat = True
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], reason=-1):
+                self._unsat = True
+            elif self._propagate() is not None:
+                self._unsat = True
+            return
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watch(clause[0], index)
+        self._watch(clause[1], index)
+
+    def set_phases(self, phases: dict[int, bool]) -> None:
+        """Set the preferred decision phase of selected variables.
+
+        The solver picks this polarity the next time it branches on the
+        variable (phase saving later overrides it as assignments happen).
+        Callers that want a persistent bias re-apply the phases before each
+        query; :class:`repro.sat.justify.Justifier` does this for rare-net
+        values so that SAT witnesses opportunistically activate additional
+        rare nets beyond the ones explicitly constrained.
+        """
+        for variable, value in phases.items():
+            if not 1 <= variable <= self._num_vars:
+                raise ValueError(f"unknown variable {variable}")
+            self._phase[variable] = bool(value)
+
+    def _ensure_vars(self, num_vars: int) -> None:
+        while self._num_vars < num_vars:
+            self._num_vars += 1
+            self._assign.append(_UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(-1)
+            self._phase.append(False)
+            self._activity.append(0.0)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: list[Literal] | None = None) -> SolverResult:
+        """Solve the formula under optional assumption literals."""
+        assumptions = list(assumptions or [])
+        if self._unsat:
+            return self._result(False)
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._unsat = True
+            return self._result(False)
+
+        restart_limit = self._restart_base
+        conflicts_since_restart = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self._unsat = True
+                    return self._result(False)
+                learned, backjump = self._analyze(conflict)
+                if not self._handle_learned(learned, backjump):
+                    self._backtrack(0)
+                    return self._result(False)
+                if conflicts_since_restart >= restart_limit:
+                    conflicts_since_restart = 0
+                    restart_limit = int(restart_limit * self._restart_growth)
+                    self._backtrack(0)
+                continue
+
+            # Re-establish assumptions after any backtracking.
+            status = self._enqueue_assumptions(assumptions)
+            if status == "conflict":
+                self._backtrack(0)
+                return self._result(False)
+            if status == "enqueued":
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                model = {
+                    var: self._assign[var] == 1 for var in range(1, self._num_vars + 1)
+                }
+                self._verify_model(model)
+                result = self._result(True, model)
+                self._backtrack(0)
+                return result
+            self._decisions += 1
+            self._new_decision_level()
+            literal = variable if self._phase[variable] else -variable
+            self._enqueue(literal, reason=-1)
+
+    # ------------------------------------------------------------------
+    # Internals: assignment and propagation
+    # ------------------------------------------------------------------
+    def _enqueue_assumptions(self, assumptions: list[Literal]) -> str:
+        """Ensure all assumptions are decided; returns 'done'/'enqueued'/'conflict'."""
+        for literal in assumptions:
+            value = self._literal_value(literal)
+            if value is True:
+                continue
+            if value is False:
+                return "conflict"
+            self._new_decision_level()
+            self._enqueue(literal, reason=-1)
+            return "enqueued"
+        return "done"
+
+    def _literal_value(self, literal: Literal) -> bool | None:
+        assigned = self._assign[abs(literal)]
+        if assigned == _UNASSIGNED:
+            return None
+        value = assigned == 1
+        return value if literal > 0 else not value
+
+    def _enqueue(self, literal: Literal, reason: int) -> bool:
+        value = self._literal_value(literal)
+        if value is not None:
+            return value
+        variable = abs(literal)
+        self._assign[variable] = 1 if literal > 0 else 0
+        self._level[variable] = self._decision_level()
+        self._reason[variable] = reason
+        self._phase[variable] = literal > 0
+        self._trail.append(literal)
+        return True
+
+    def _propagate(self) -> list[Literal] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._queue_head < len(self._trail):
+            literal = self._trail[self._queue_head]
+            self._queue_head += 1
+            self._propagations += 1
+            falsified = -literal
+            watch_list = self._watches.get(falsified, [])
+            new_watch_list: list[int] = []
+            conflict: list[Literal] | None = None
+            for position, clause_index in enumerate(watch_list):
+                clause = self._clauses[clause_index]
+                # Ensure the falsified literal sits at position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._literal_value(first) is True:
+                    new_watch_list.append(clause_index)
+                    continue
+                moved = False
+                for alternative_index in range(2, len(clause)):
+                    alternative = clause[alternative_index]
+                    if self._literal_value(alternative) is not False:
+                        clause[1], clause[alternative_index] = clause[alternative_index], clause[1]
+                        self._watch(clause[1], clause_index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_watch_list.append(clause_index)
+                if self._literal_value(first) is False:
+                    conflict = clause
+                    new_watch_list.extend(watch_list[position + 1:])
+                    break
+                self._enqueue(first, reason=clause_index)
+            self._watches[falsified] = new_watch_list
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _watch(self, literal: Literal, clause_index: int) -> None:
+        self._watches.setdefault(literal, []).append(clause_index)
+
+    # ------------------------------------------------------------------
+    # Internals: conflict analysis
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: list[Literal]) -> tuple[list[Literal], int]:
+        """First-UIP analysis: returns (learned clause, backjump level)."""
+        current_level = self._decision_level()
+        learned: list[Literal] = []
+        seen: set[int] = set()
+        counter = 0
+        clause: list[Literal] | None = conflict
+        trail_index = len(self._trail) - 1
+        asserting_literal: Literal | None = None
+
+        while True:
+            assert clause is not None
+            for literal in clause:
+                variable = abs(literal)
+                if variable in seen or self._level[variable] == 0:
+                    continue
+                seen.add(variable)
+                self._bump_activity(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(literal)
+            # Find the next marked literal on the trail to resolve.  Variables
+            # stay marked in ``seen`` once visited so a later reason clause
+            # cannot re-introduce (and re-count) an already-resolved variable.
+            while True:
+                literal = self._trail[trail_index]
+                trail_index -= 1
+                if abs(literal) in seen and self._level[abs(literal)] == current_level:
+                    break
+            variable = abs(literal)
+            counter -= 1
+            if counter == 0:
+                asserting_literal = -literal
+                break
+            reason_index = self._reason[variable]
+            clause = self._clauses[reason_index] if reason_index >= 0 else []
+
+        learned.insert(0, asserting_literal)
+        if len(learned) == 1:
+            backjump = 0
+        else:
+            backjump = max(self._level[abs(lit)] for lit in learned[1:])
+        self._bump *= 1.0 / self._decay
+        if self._bump > 1e100:
+            self._rescale_activity()
+        return learned, backjump
+
+    def _handle_learned(self, learned: list[Literal], backjump: int) -> bool:
+        """Backjump, install the learned clause, and assert its first literal."""
+        self._backtrack(backjump)
+        if len(learned) == 1:
+            if not self._enqueue(learned[0], reason=-1):
+                return False
+            return True
+        # Keep the two-watched-literal invariant: the second watcher must be a
+        # literal assigned at the backjump level so that un-assigning it later
+        # re-triggers a visit of this clause.
+        deepest = max(range(1, len(learned)), key=lambda i: self._level[abs(learned[i])])
+        learned[1], learned[deepest] = learned[deepest], learned[1]
+        index = len(self._clauses)
+        self._clauses.append(learned)
+        self._watch(learned[0], index)
+        self._watch(learned[1], index)
+        return self._enqueue(learned[0], reason=index)
+
+    def _verify_model(self, model: dict[int, bool]) -> None:
+        """Sanity check: every clause must be satisfied by the model."""
+        for clause in self._clauses:
+            if not any(model[abs(lit)] == (lit > 0) for lit in clause):
+                raise RuntimeError(
+                    "internal solver error: model does not satisfy a clause"
+                )
+
+    def _bump_activity(self, variable: int) -> None:
+        self._activity[variable] += self._bump
+
+    def _rescale_activity(self) -> None:
+        self._activity = [a * 1e-100 for a in self._activity]
+        self._bump *= 1e-100
+
+    # ------------------------------------------------------------------
+    # Internals: decisions, backtracking
+    # ------------------------------------------------------------------
+    def _decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    def _new_decision_level(self) -> None:
+        self._trail_limits.append(len(self._trail))
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_limits[level]
+        for literal in reversed(self._trail[limit:]):
+            variable = abs(literal)
+            self._assign[variable] = _UNASSIGNED
+            self._reason[variable] = -1
+        del self._trail[limit:]
+        del self._trail_limits[level:]
+        self._queue_head = min(self._queue_head, len(self._trail))
+
+    def _pick_branch_variable(self) -> int | None:
+        best_variable = None
+        best_activity = -1.0
+        for variable in range(1, self._num_vars + 1):
+            if self._assign[variable] == _UNASSIGNED and self._activity[variable] > best_activity:
+                best_variable = variable
+                best_activity = self._activity[variable]
+        return best_variable
+
+    def _result(self, satisfiable: bool, model: dict[int, bool] | None = None) -> SolverResult:
+        return SolverResult(
+            satisfiable=satisfiable,
+            model=model,
+            conflicts=self._conflicts,
+            decisions=self._decisions,
+            propagations=self._propagations,
+        )
+
+
+def solve_cnf(cnf: CNF, assumptions: list[Literal] | None = None) -> SolverResult:
+    """One-shot convenience wrapper: build a solver, load ``cnf``, solve."""
+    return CdclSolver(cnf).solve(assumptions)
+
+
+__all__ = ["CdclSolver", "SolverResult", "solve_cnf"]

@@ -1,0 +1,16 @@
+"""Logic simulation, signal probabilities, rare nets, and testability."""
+
+from repro.simulation.logic_sim import BitParallelSimulator, simulate_pattern
+from repro.simulation.probability import estimate_signal_probabilities, cop_probabilities
+from repro.simulation.rare_nets import RareNet, extract_rare_nets
+from repro.simulation.testability import scoap_testability
+
+__all__ = [
+    "BitParallelSimulator",
+    "simulate_pattern",
+    "estimate_signal_probabilities",
+    "cop_probabilities",
+    "RareNet",
+    "extract_rare_nets",
+    "scoap_testability",
+]

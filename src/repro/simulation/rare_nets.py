@@ -1,0 +1,91 @@
+"""Rare-net extraction.
+
+A net is *rare* at threshold ``theta`` when the probability of it taking one
+of its logic values under random stimuli is below ``theta`` (footnote 1 of the
+paper).  The value it is biased *against* is its **rare value** — the value a
+Trojan trigger would require it to take.
+
+Rare nets are the action space of the DETERRENT agent and the sampling space
+for Trojan trigger insertion, so this module is the interface between the
+circuit substrate and everything above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Netlist
+from repro.simulation.probability import estimate_signal_probabilities
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class RareNet:
+    """A rare net: the net name, its rare value, and that value's probability."""
+
+    net: str
+    rare_value: int
+    probability: float
+
+    def __post_init__(self) -> None:
+        if self.rare_value not in (0, 1):
+            raise ValueError(f"rare_value must be 0 or 1, got {self.rare_value}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+
+
+def extract_rare_nets(
+    netlist: Netlist,
+    threshold: float = 0.1,
+    num_patterns: int = 4096,
+    seed: RngLike = None,
+    probabilities: dict[str, float] | None = None,
+    exclude_sources: bool = True,
+) -> list[RareNet]:
+    """Identify rare nets of ``netlist`` at ``threshold``.
+
+    Args:
+        netlist: combinational (or full-scan converted) netlist.
+        threshold: rareness threshold; a net is rare if min(P(0), P(1)) < threshold.
+        num_patterns: random patterns used for probability estimation when
+            ``probabilities`` is not supplied.
+        seed: RNG seed for the probability estimation.
+        probabilities: optional precomputed P(net = 1) mapping.
+        exclude_sources: drop primary/pseudo inputs (they are trivially
+            controllable and never used as trigger nets).
+
+    Returns:
+        Rare nets sorted by ascending probability then name (most biased first).
+
+    A zero estimated probability over a finite sample does not prove the rare
+    value is unreachable, so such nets are kept; the SAT-based compatibility
+    analysis is the authoritative filter for truly constant (redundant) nets.
+    """
+    if not 0.0 < threshold <= 0.5:
+        raise ValueError(f"threshold must be in (0, 0.5], got {threshold}")
+    if probabilities is None:
+        probabilities = estimate_signal_probabilities(netlist, num_patterns, seed=seed)
+    sources = set(netlist.combinational_sources()) if exclude_sources else set()
+    rare: list[RareNet] = []
+    for net, p_one in probabilities.items():
+        if net in sources:
+            continue
+        p_zero = 1.0 - p_one
+        rare_value, rare_probability = (1, p_one) if p_one < p_zero else (0, p_zero)
+        if rare_probability < threshold:
+            rare.append(RareNet(net=net, rare_value=rare_value, probability=rare_probability))
+    rare.sort(key=lambda item: (item.probability, item.net))
+    return rare
+
+
+def rare_net_names(rare_nets: list[RareNet]) -> list[str]:
+    """Convenience accessor: just the net names, preserving order."""
+    return [item.net for item in rare_nets]
+
+
+def rare_value_map(rare_nets: list[RareNet]) -> dict[str, int]:
+    """Mapping net name -> rare value."""
+    return {item.net: item.rare_value for item in rare_nets}
+
+
+__all__ = ["RareNet", "extract_rare_nets", "rare_net_names", "rare_value_map"]

@@ -1,0 +1,19 @@
+"""Hardware Trojan modelling, insertion, and trigger-coverage evaluation."""
+
+from repro.trojan.model import Trojan, TriggerCondition
+from repro.trojan.insertion import sample_trojans, insert_trojan
+from repro.trojan.evaluation import (
+    CoverageResult,
+    trigger_coverage,
+    coverage_curve,
+)
+
+__all__ = [
+    "Trojan",
+    "TriggerCondition",
+    "sample_trojans",
+    "insert_trojan",
+    "CoverageResult",
+    "trigger_coverage",
+    "coverage_curve",
+]

@@ -1,0 +1,122 @@
+"""Random hardware Trojan insertion.
+
+Reproduces the paper's evaluation methodology (§4.1): for each benchmark, 100
+Trojans are created by sampling random width-``w`` subsets of the rare nets as
+triggers and verifying each trigger to be *valid* (simultaneously activatable)
+with a Boolean satisfiability check.  :func:`insert_trojan` additionally
+produces the HT-infected netlist (trigger AND-tree plus an XOR payload on an
+output), which is what a logic-testing flow would simulate; coverage
+evaluation itself only needs the trigger conditions.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.sat.justify import Justifier
+from repro.simulation.rare_nets import RareNet
+from repro.trojan.model import Trojan, TriggerCondition
+from repro.utils.rng import RngLike, make_rng
+
+
+def sample_trojans(
+    netlist: Netlist,
+    rare_nets: list[RareNet],
+    num_trojans: int = 100,
+    trigger_width: int = 4,
+    seed: RngLike = None,
+    justifier: Justifier | None = None,
+    max_attempts_per_trojan: int = 200,
+) -> list[Trojan]:
+    """Sample valid random Trojans whose triggers use ``trigger_width`` rare nets.
+
+    Every sampled trigger is validated with a SAT check (invalid candidates
+    are re-drawn); duplicate trigger sets are avoided.  If the circuit cannot
+    support ``num_trojans`` distinct valid triggers within the attempt budget,
+    as many as exist are returned.
+    """
+    if trigger_width <= 0:
+        raise ValueError(f"trigger_width must be positive, got {trigger_width}")
+    if len(rare_nets) < trigger_width:
+        return []
+    rng = make_rng(seed)
+    justifier = justifier or Justifier(netlist)
+    outputs = netlist.outputs or netlist.combinational_sources()
+    trojans: list[Trojan] = []
+    seen: set[frozenset[str]] = set()
+    attempts_left = num_trojans * max_attempts_per_trojan
+    while len(trojans) < num_trojans and attempts_left > 0:
+        attempts_left -= 1
+        chosen_indices = rng.choice(len(rare_nets), size=trigger_width, replace=False)
+        chosen = [rare_nets[int(index)] for index in chosen_indices]
+        key = frozenset(item.net for item in chosen)
+        if key in seen:
+            continue
+        trigger = TriggerCondition.from_rare_nets(chosen)
+        if not justifier.is_satisfiable(trigger.as_assignment()):
+            continue
+        seen.add(key)
+        payload_output = str(outputs[int(rng.integers(len(outputs)))])
+        trojans.append(
+            Trojan(
+                trigger=trigger,
+                payload_output=payload_output,
+                name=f"{netlist.name}_ht{len(trojans)}",
+            )
+        )
+    return trojans
+
+
+def insert_trojan(netlist: Netlist, trojan: Trojan) -> Netlist:
+    """Return an HT-infected copy of ``netlist``.
+
+    The trigger is an AND over the trigger nets (inverting the nets whose rare
+    value is 0), and the payload XORs the trigger output into the Trojan's
+    payload output, flipping that output whenever the trigger fires — the
+    structure of Figure 1 in the paper.
+    """
+    infected = Netlist(f"{netlist.name}_{trojan.name or 'trojan'}")
+    for net in netlist.inputs:
+        infected.add_input(net)
+    for ff in netlist.flip_flops:
+        infected.add_flip_flop(ff.q, ff.d)
+
+    payload = trojan.payload_output
+    if not netlist.has_driver(payload) or netlist.is_input(payload):
+        raise ValueError(
+            f"payload output {payload!r} must be a gate-driven net of the netlist"
+        )
+    renamed = f"{payload}__pre_trojan"
+
+    def original(net: str) -> str:
+        """Internal logic keeps using the uncorrupted value of the payload net."""
+        return renamed if net == payload else net
+
+    for gate in netlist.gates:
+        output = renamed if gate.output == payload else gate.output
+        infected.add_gate(output, gate.gate_type, tuple(original(n) for n in gate.inputs))
+
+    # Trigger: AND of the trigger nets in their rare polarity.
+    trigger_literals: list[str] = []
+    for index, (net, value) in enumerate(trojan.trigger.requirements):
+        source = original(net)
+        if value == 1:
+            trigger_literals.append(source)
+        else:
+            inverted = f"trojan_inv_{index}_{net}"
+            infected.add_gate(inverted, GateType.NOT, (source,))
+            trigger_literals.append(inverted)
+    trigger_net = "trojan_trigger"
+    if len(trigger_literals) == 1:
+        infected.add_gate(trigger_net, GateType.BUF, (trigger_literals[0],))
+    else:
+        infected.add_gate(trigger_net, GateType.AND, tuple(trigger_literals))
+
+    # Payload: XOR the trigger into the original payload net.
+    infected.add_gate(payload, GateType.XOR, (renamed, trigger_net))
+    for net in netlist.outputs:
+        infected.add_output(net)
+    return infected
+
+
+__all__ = ["sample_trojans", "insert_trojan"]

@@ -1,0 +1,68 @@
+"""Hardware Trojan model: trigger conditions and payloads.
+
+A Trojan consists of a *trigger* — a conjunction of rare nets at their rare
+values — and a *payload* that corrupts the design when the trigger fires
+(Figure 1 of the paper shows the canonical XOR payload that flips an output).
+For trigger-coverage evaluation only the trigger matters: a test pattern
+*detects* the Trojan iff it activates the trigger condition, because an
+activated trigger propagates a visible corruption through the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.rare_nets import RareNet
+
+
+@dataclass(frozen=True)
+class TriggerCondition:
+    """A conjunction of (net, required value) pairs forming a Trojan trigger."""
+
+    requirements: tuple[tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.requirements:
+            raise ValueError("a trigger condition needs at least one net")
+        nets = [net for net, _ in self.requirements]
+        if len(set(nets)) != len(nets):
+            raise ValueError("trigger condition references a net more than once")
+        for net, value in self.requirements:
+            if value not in (0, 1):
+                raise ValueError(f"trigger value for net {net!r} must be 0 or 1, got {value}")
+
+    @classmethod
+    def from_rare_nets(cls, rare_nets: list[RareNet]) -> "TriggerCondition":
+        """Build a trigger from rare nets at their rare values."""
+        return cls(tuple((item.net, item.rare_value) for item in rare_nets))
+
+    @property
+    def width(self) -> int:
+        """Trigger width: the number of nets in the conjunction."""
+        return len(self.requirements)
+
+    @property
+    def nets(self) -> tuple[str, ...]:
+        """The trigger nets."""
+        return tuple(net for net, _ in self.requirements)
+
+    def as_assignment(self) -> dict[str, int]:
+        """Net -> required value mapping."""
+        return dict(self.requirements)
+
+
+@dataclass(frozen=True)
+class Trojan:
+    """A Trojan instance: a trigger plus the output its payload corrupts."""
+
+    trigger: TriggerCondition
+    payload_output: str
+    name: str = ""
+
+    @property
+    def width(self) -> int:
+        """Trigger width of this Trojan."""
+        return self.trigger.width
+
+
+__all__ = ["TriggerCondition", "Trojan"]

@@ -1,0 +1,37 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library (simulation, Trojan sampling, PPO,
+baselines) accepts either a seed or a :class:`numpy.random.Generator`.  These
+helpers normalise that interface so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = int | np.random.Generator | None
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, an existing generator, or None.
+
+    Passing an existing generator returns it unchanged so that callers can
+    thread one RNG through a pipeline without re-seeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from a single seed.
+
+    Used by vectorised environments and parallel Trojan sampling so that each
+    worker gets a distinct but reproducible stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = np.random.SeedSequence(
+        seed if isinstance(seed, int) else make_rng(seed).integers(2**63)
+    )
+    return [np.random.default_rng(child) for child in root.spawn(count)]

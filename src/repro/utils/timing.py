@@ -1,0 +1,53 @@
+"""Lightweight timing utilities used by the experiment harnesses."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    The experiment harnesses use this to report training rates
+    (steps/minute, episodes/minute) in the same units as the paper's Table 1.
+    """
+
+    _start: float | None = None
+    _elapsed: float = 0.0
+    laps: dict[str, float] = field(default_factory=dict)
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return total elapsed seconds."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Total elapsed seconds, including the current running segment."""
+        running = 0.0
+        if self._start is not None:
+            running = time.perf_counter() - self._start
+        return self._elapsed + running
+
+    def lap(self, name: str) -> float:
+        """Record the current elapsed time under ``name`` and return it."""
+        value = self.elapsed
+        self.laps[name] = value
+        return value
+
+    def rate_per_minute(self, count: int) -> float:
+        """Return ``count`` normalised to an events-per-minute rate."""
+        seconds = self.elapsed
+        if seconds <= 0.0:
+            return float("inf") if count > 0 else 0.0
+        return 60.0 * count / seconds

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+The fixtures keep the expensive objects (benchmark circuits, compatibility
+analyses) session-scoped so the several hundred tests stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import generators
+from repro.core.compatibility import compute_compatibility
+from repro.core.config import DeterrentConfig
+from repro.rl.ppo import PpoConfig
+from repro.simulation.rare_nets import extract_rare_nets
+
+
+@pytest.fixture(scope="session")
+def c17():
+    """The real ISCAS-85 c17 circuit."""
+    return generators.c17()
+
+
+@pytest.fixture(scope="session")
+def small_multiplier():
+    """A 4x4 array multiplier: small enough for exhaustive checks."""
+    return generators.multiplier_circuit("mult4", width=4)
+
+
+@pytest.fixture(scope="session")
+def small_random_circuit():
+    """A reproducible random circuit with 8 inputs (256 exhaustive patterns)."""
+    return generators.random_logic_circuit(
+        "rand8", num_inputs=8, num_gates=60, num_outputs=6, seed=1234
+    )
+
+
+@pytest.fixture(scope="session")
+def multiplier_rare_nets(small_multiplier):
+    """Rare nets of the small multiplier at threshold 0.2."""
+    return extract_rare_nets(small_multiplier, threshold=0.2, num_patterns=2048, seed=0)
+
+
+@pytest.fixture(scope="session")
+def multiplier_compatibility(small_multiplier, multiplier_rare_nets):
+    """Compatibility analysis of the small multiplier."""
+    return compute_compatibility(small_multiplier, multiplier_rare_nets)
+
+
+@pytest.fixture()
+def tiny_config():
+    """A DETERRENT configuration small enough for unit tests."""
+    return DeterrentConfig(
+        num_probability_patterns=512,
+        episode_length=10,
+        num_envs=2,
+        total_training_steps=256,
+        k_patterns=8,
+        seed=0,
+        ppo=PpoConfig(num_steps=32, minibatch_size=32, hidden_sizes=(16, 16), num_epochs=2),
+    )

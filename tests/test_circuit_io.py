@@ -1,0 +1,102 @@
+"""Tests for .bench and structural Verilog I/O."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import generators
+from repro.circuits.bench_io import BenchParseError, dumps_bench, load_bench, loads_bench
+from repro.circuits.verilog_io import VerilogParseError, dumps_verilog, loads_verilog
+from repro.simulation.logic_sim import BitParallelSimulator
+
+
+def equivalent(netlist_a, netlist_b, num_patterns=64, seed=3):
+    """Check functional equivalence on random patterns (same sources assumed)."""
+    sim_a = BitParallelSimulator(netlist_a)
+    sim_b = BitParallelSimulator(netlist_b)
+    assert set(sim_a.sources) == set(sim_b.sources)
+    rng = np.random.default_rng(seed)
+    patterns = rng.integers(0, 2, size=(num_patterns, len(sim_a.sources)), dtype=np.uint8)
+    values_a = sim_a.run_patterns(patterns)
+    reorder = [sim_a.sources.index(net) for net in sim_b.sources]
+    values_b = sim_b.run_patterns(patterns[:, reorder])
+    for output in netlist_a.outputs:
+        if not np.array_equal(values_a[output], values_b[output]):
+            return False
+    return True
+
+
+class TestBenchFormat:
+    def test_roundtrip_c17(self, c17):
+        text = dumps_bench(c17)
+        parsed = loads_bench(text, name="c17")
+        assert set(parsed.inputs) == set(c17.inputs)
+        assert set(parsed.outputs) == set(c17.outputs)
+        assert parsed.num_gates == c17.num_gates
+        assert equivalent(c17, parsed)
+
+    def test_roundtrip_multiplier(self, small_multiplier):
+        parsed = loads_bench(dumps_bench(small_multiplier))
+        assert equivalent(small_multiplier, parsed)
+
+    def test_sequential_roundtrip(self):
+        sequential = generators.sequential_controller("seq", state_bits=4, data_width=4)
+        parsed = loads_bench(dumps_bench(sequential))
+        assert len(parsed.flip_flops) == len(sequential.flip_flops)
+
+    def test_parse_error_on_garbage(self):
+        with pytest.raises(BenchParseError):
+            loads_bench("this is not bench format\n")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(BenchParseError, match="unknown function"):
+            loads_bench("INPUT(a)\nINPUT(b)\ny = MAJ(a, b)\nOUTPUT(y)\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)  # trailing comment\n"
+        netlist = loads_bench(text)
+        assert netlist.num_gates == 1
+
+    def test_dff_arity_checked(self):
+        with pytest.raises(BenchParseError, match="DFF"):
+            loads_bench("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n")
+
+    def test_file_roundtrip(self, tmp_path, c17):
+        path = tmp_path / "c17.bench"
+        path.write_text(dumps_bench(c17))
+        assert equivalent(c17, load_bench(path))
+
+    def test_buff_alias(self):
+        netlist = loads_bench("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n")
+        assert netlist.num_gates == 1
+
+
+class TestVerilogFormat:
+    def test_roundtrip_c17(self, c17):
+        text = dumps_verilog(c17)
+        parsed = loads_verilog(text)
+        assert equivalent(c17, parsed)
+
+    def test_roundtrip_random_circuit(self, small_random_circuit):
+        parsed = loads_verilog(dumps_verilog(small_random_circuit))
+        assert equivalent(small_random_circuit, parsed)
+
+    def test_module_name_preserved(self, c17):
+        assert loads_verilog(dumps_verilog(c17)).name == "c17"
+
+    def test_escaped_identifiers(self):
+        mult = generators.multiplier_circuit("m", width=2)
+        text = dumps_verilog(mult)
+        assert "\\" in text  # bus names like a[0] need escaping
+        assert equivalent(mult, loads_verilog(text))
+
+    def test_parse_error_on_unknown_primitive(self):
+        bad = "module t (a, y);\n  input a;\n  output y;\n  latch g_0 (y, a);\nendmodule\n"
+        with pytest.raises(VerilogParseError):
+            loads_verilog(bad)
+
+    def test_sequential_emits_dff_instances(self):
+        sequential = generators.sequential_controller("seq2", state_bits=3, data_width=4)
+        text = dumps_verilog(sequential)
+        assert "dff" in text
+        parsed = loads_verilog(text)
+        assert len(parsed.flip_flops) == len(sequential.flip_flops)

@@ -1,0 +1,166 @@
+"""Tests for the experiment harnesses (tiny scale) and shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common
+from repro.experiments.reporting import format_table, save_json
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timing import Stopwatch
+
+#: A deliberately tiny profile so harness tests finish in seconds.
+TINY = common.ExperimentProfile(
+    name="quick",  # reuse quick design lists
+    num_trojans=12,
+    trigger_width=3,
+    training_steps=256,
+    tgrl_training_steps=128,
+    k_patterns=16,
+    num_cliques=12,
+    num_probability_patterns=512,
+    num_envs=2,
+    episode_length=12,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    common.clear_context_cache()
+    return common.prepare_benchmark("c6288_like", TINY, threshold=0.15)
+
+
+class TestUtils:
+    def test_make_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_from_seed_reproducible(self):
+        assert make_rng(3).integers(1000) == make_rng(3).integers(1000)
+
+    def test_spawn_rngs_independent(self):
+        first, second = spawn_rngs(0, 2)
+        assert first.integers(10**6) != second.integers(10**6) or True  # streams differ
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_spawn_rngs_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_stopwatch_rates(self):
+        watch = Stopwatch().start()
+        watch.stop()
+        assert watch.rate_per_minute(0) == 0.0
+        assert watch.elapsed >= 0.0
+        watch.lap("phase")
+        assert "phase" in watch.laps
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text
+        assert "—" in text
+
+    def test_save_json_creates_directories(self, tmp_path):
+        path = save_json({"x": 1}, tmp_path / "nested" / "out.json")
+        assert path.exists()
+        assert "\"x\": 1" in path.read_text()
+
+
+class TestCommon:
+    def test_profiles_lookup(self):
+        assert common.profile_by_name("quick") is common.QUICK
+        assert common.profile_by_name("full") is common.FULL
+        with pytest.raises(KeyError):
+            common.profile_by_name("gigantic")
+
+    def test_prepare_benchmark_caches(self):
+        common.clear_context_cache()
+        first = common.prepare_benchmark("c6288_like", TINY, threshold=0.15)
+        second = common.prepare_benchmark("c6288_like", TINY, threshold=0.15)
+        assert first is second
+
+    def test_context_contains_valid_trojans(self, tiny_context):
+        assert tiny_context.num_rare_nets > 0
+        assert tiny_context.trojans
+        for trojan in tiny_context.trojans:
+            assert trojan.width == TINY.trigger_width
+
+    def test_paper_table2_reference_complete(self):
+        assert set(common.PAPER_TABLE2) == {
+            "c2670", "c5315", "c6288", "c7552", "s13207", "s15850", "s35932", "MIPS",
+        }
+        for values in common.PAPER_TABLE2.values():
+            assert "DETERRENT" in values
+
+
+class TestHarnesses:
+    def test_table2_single_design(self, tiny_context):
+        from repro.experiments import table2
+
+        row = table2.run_design(tiny_context, TINY, techniques=("Random", "ATPG", "DETERRENT"))
+        assert set(row.outcomes) == {"Random", "ATPG", "DETERRENT"}
+        deterrent = row.outcomes["DETERRENT"]
+        assert deterrent.test_length > 0
+        assert 0.0 <= deterrent.coverage_percent <= 100.0
+        report = table2.report([row])
+        assert "DETERRENT" in report
+
+    def test_table2_reduction_metric(self, tiny_context):
+        from repro.experiments import table2
+
+        row = table2.Table2Row(design="d", paper_design="c6288", num_rare_nets=1, num_gates=1)
+        row.outcomes = {
+            "DETERRENT": table2.TechniqueOutcome("DETERRENT", 10, 90.0),
+            "TARMAC": table2.TechniqueOutcome("TARMAC", 100, 80.0),
+            "TGRL": table2.TechniqueOutcome("TGRL", 300, 85.0),
+        }
+        assert table2.reduction_vs_baselines([row]) == pytest.approx(20.0)
+
+    def test_table1_reward_mode_comparison(self):
+        from repro.experiments import table1
+
+        results = table1.run(design="c6288_like", profile=TINY)
+        assert set(results) == {"per_step", "end_of_episode"}
+        for outcome in results.values():
+            assert outcome.max_compatible >= 1
+            assert outcome.steps_per_minute > 0
+        assert "Improvement" in table1.report(results)
+
+    def test_figure3_exploration_comparison(self):
+        from repro.experiments import figure3
+
+        results = figure3.run(design="c6288_like", profile=TINY)
+        assert set(results) == {"default", "boosted"}
+        assert results["boosted"].loss_history
+        assert "boosted" in figure3.report(results)
+
+    def test_figure6_curves(self, tiny_context):
+        from repro.experiments import figure6
+
+        curves = figure6.run(designs=("c6288_like",), profile=TINY)
+        assert len(curves) == 1
+        result = curves[0]
+        assert result.deterrent_curve
+        coverages = [c for _, c in result.deterrent_curve]
+        assert coverages == sorted(coverages)
+        assert result.patterns_to_reach(0.0) == 1
+
+    def test_figure7_threshold_sweep(self):
+        from repro.experiments import figure7
+
+        points = figure7.run(design="c6288_like", thresholds=(0.12, 0.15), profile=TINY)
+        assert len(points) == 2
+        assert points[0].num_rare_nets <= points[1].num_rare_nets
+
+    def test_transfer_experiment(self):
+        from repro.experiments import transfer
+
+        result = transfer.run(design="c6288_like", train_threshold=0.15,
+                              eval_threshold=0.12, profile=TINY)
+        assert result.train_rare_nets >= result.eval_rare_nets
+        assert 0.0 <= result.coverage_percent <= 100.0
+        assert "coverage" in transfer.report(result)

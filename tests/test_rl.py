@@ -1,0 +1,275 @@
+"""Tests for the numpy RL substrate: networks, policy, buffer, environments, PPO."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rl.buffer import RolloutBuffer
+from repro.rl.env import Environment, StepResult, VectorizedEnvironment
+from repro.rl.nn import Adam, Mlp, clip_gradients
+from repro.rl.policy import MaskedCategoricalPolicy, masked_softmax
+from repro.rl.ppo import PpoConfig, PpoTrainer
+
+
+class TestMlp:
+    def test_output_shape(self):
+        mlp = Mlp(4, (8,), 3, seed=0)
+        out = mlp.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Mlp(0, (4,), 2)
+
+    def test_backward_requires_forward(self):
+        mlp = Mlp(2, (4,), 1, seed=0)
+        with pytest.raises(RuntimeError):
+            mlp.backward(np.zeros((1, 1)))
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        mlp = Mlp(3, (5,), 2, seed=1)
+        inputs = rng.normal(size=(4, 3))
+        targets = rng.normal(size=(4, 2))
+
+        def loss_value():
+            return 0.5 * float(np.sum((mlp.forward(inputs) - targets) ** 2))
+
+        outputs = mlp.forward(inputs)
+        weight_grads, bias_grads = mlp.backward(outputs - targets)
+        epsilon = 1e-6
+        for layer in range(len(mlp.weights)):
+            flat_index = np.unravel_index(
+                rng.integers(mlp.weights[layer].size), mlp.weights[layer].shape
+            )
+            original = mlp.weights[layer][flat_index]
+            mlp.weights[layer][flat_index] = original + epsilon
+            loss_plus = loss_value()
+            mlp.weights[layer][flat_index] = original - epsilon
+            loss_minus = loss_value()
+            mlp.weights[layer][flat_index] = original
+            numeric = (loss_plus - loss_minus) / (2 * epsilon)
+            assert weight_grads[layer][flat_index] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_deterministic_given_seed(self):
+        first = Mlp(3, (4,), 2, seed=42)
+        second = Mlp(3, (4,), 2, seed=42)
+        x = np.ones((1, 3))
+        assert np.allclose(first.forward(x), second.forward(x))
+
+
+class TestAdamAndClipping:
+    def test_adam_reduces_quadratic_loss(self):
+        parameter = np.array([5.0])
+        optimizer = Adam([parameter], learning_rate=0.1)
+        for _ in range(200):
+            optimizer.step([2 * parameter])
+        assert abs(parameter[0]) < 0.1
+
+    def test_adam_gradient_count_checked(self):
+        optimizer = Adam([np.zeros(2)])
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(2), np.zeros(2)])
+
+    def test_clip_gradients_scales_large_norm(self):
+        grads = [np.array([3.0, 4.0])]
+        clipped = clip_gradients(grads, max_norm=1.0)
+        assert np.linalg.norm(clipped[0]) == pytest.approx(1.0)
+
+    def test_clip_gradients_no_op_when_small(self):
+        grads = [np.array([0.1, 0.1])]
+        assert clip_gradients(grads, max_norm=1.0)[0] is grads[0]
+
+
+class TestMaskedSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        probabilities = masked_softmax(logits, None)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_masked_entries_get_zero_probability(self):
+        logits = np.array([[5.0, 1.0, 1.0]])
+        masks = np.array([[0.0, 1.0, 1.0]])
+        probabilities = masked_softmax(logits, masks)
+        assert probabilities[0, 0] == 0.0
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_all_masked_raises(self):
+        with pytest.raises(ValueError):
+            masked_softmax(np.zeros((1, 3)), np.zeros((1, 3)))
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            masked_softmax(np.zeros((1, 3)), np.zeros((1, 2)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=1000))
+    def test_never_samples_masked_action(self, num_actions, seed):
+        rng = np.random.default_rng(seed)
+        policy = MaskedCategoricalPolicy(4, num_actions + 1, hidden_sizes=(8,), seed=seed)
+        masks = np.ones((3, num_actions + 1))
+        masks[:, 0] = 0.0  # always mask action 0
+        observations = rng.normal(size=(3, 4))
+        output = policy.act(observations, masks)
+        assert (output.actions != 0).all()
+
+    def test_deterministic_action_is_argmax(self):
+        policy = MaskedCategoricalPolicy(3, 4, hidden_sizes=(8,), seed=0)
+        observations = np.random.default_rng(0).normal(size=(2, 3))
+        output = policy.act(observations, deterministic=True)
+        probabilities = policy.action_probabilities(observations)
+        assert np.array_equal(output.actions, probabilities.argmax(axis=1))
+
+    def test_evaluate_actions_matches_act_log_probs(self):
+        policy = MaskedCategoricalPolicy(3, 5, hidden_sizes=(8,), seed=0)
+        observations = np.random.default_rng(1).normal(size=(4, 3))
+        output = policy.act(observations)
+        log_probs, entropies, _ = policy.evaluate_actions(observations, output.actions)
+        assert np.allclose(log_probs, output.log_probs)
+        assert (entropies >= 0).all()
+
+
+class TestRolloutBuffer:
+    def test_gae_matches_manual_computation(self):
+        buffer = RolloutBuffer(num_steps=3, num_envs=1, observation_dim=1, num_actions=2)
+        rewards = [1.0, 0.0, 2.0]
+        values = [0.5, 0.25, 0.75]
+        for step in range(3):
+            buffer.add(
+                observations=np.zeros((1, 1)), actions=np.zeros(1, dtype=np.int64),
+                masks=np.ones((1, 2)), rewards=np.array([rewards[step]]),
+                dones=np.array([False]), log_probs=np.zeros(1),
+                values=np.array([values[step]]),
+            )
+        gamma, lam = 0.9, 0.8
+        advantages, returns = buffer.compute_returns(np.array([1.0]), gamma, lam)
+        # Manual GAE.
+        deltas = [
+            rewards[0] + gamma * values[1] - values[0],
+            rewards[1] + gamma * values[2] - values[1],
+            rewards[2] + gamma * 1.0 - values[2],
+        ]
+        adv2 = deltas[2]
+        adv1 = deltas[1] + gamma * lam * adv2
+        adv0 = deltas[0] + gamma * lam * adv1
+        assert advantages[:, 0] == pytest.approx([adv0, adv1, adv2])
+        assert returns[:, 0] == pytest.approx(np.array([adv0, adv1, adv2]) + np.array(values))
+
+    def test_done_stops_bootstrapping(self):
+        buffer = RolloutBuffer(num_steps=2, num_envs=1, observation_dim=1, num_actions=2)
+        for step, done in enumerate([True, False]):
+            buffer.add(np.zeros((1, 1)), np.zeros(1, dtype=np.int64), np.ones((1, 2)),
+                       np.array([1.0]), np.array([done]), np.zeros(1), np.array([0.0]))
+        advantages, _ = buffer.compute_returns(np.array([100.0]), 0.99, 0.95)
+        # First step is terminal: its advantage must ignore the later value.
+        assert advantages[0, 0] == pytest.approx(1.0)
+
+    def test_overflow_and_underflow_guarded(self):
+        buffer = RolloutBuffer(num_steps=1, num_envs=1, observation_dim=1, num_actions=2)
+        with pytest.raises(RuntimeError):
+            buffer.compute_returns(np.zeros(1), 0.9, 0.9)
+        buffer.add(np.zeros((1, 1)), np.zeros(1, dtype=np.int64), np.ones((1, 2)),
+                   np.zeros(1), np.array([False]), np.zeros(1), np.zeros(1))
+        with pytest.raises(RuntimeError):
+            buffer.add(np.zeros((1, 1)), np.zeros(1, dtype=np.int64), np.ones((1, 2)),
+                       np.zeros(1), np.array([False]), np.zeros(1), np.zeros(1))
+
+
+class _LineWorld(Environment):
+    """Tiny deterministic environment: action 1 gives reward, action 0 does not."""
+
+    def __init__(self, horizon=8):
+        self._horizon = horizon
+        self._steps = 0
+
+    @property
+    def observation_dim(self):
+        return 2
+
+    @property
+    def num_actions(self):
+        return 2
+
+    def reset(self):
+        self._steps = 0
+        return np.array([1.0, 0.0])
+
+    def step(self, action):
+        self._steps += 1
+        reward = 1.0 if action == 1 else 0.0
+        done = self._steps >= self._horizon
+        return StepResult(np.array([1.0, 0.0]), reward, done, {"step": self._steps})
+
+
+class TestVectorizedEnvironment:
+    def test_requires_consistent_spaces(self):
+        class Other(_LineWorld):
+            @property
+            def num_actions(self):
+                return 3
+
+        with pytest.raises(ValueError):
+            VectorizedEnvironment([_LineWorld(), Other()])
+
+    def test_auto_reset_on_done(self):
+        vec = VectorizedEnvironment([_LineWorld(horizon=1)])
+        vec.reset()
+        observations, rewards, dones, infos = vec.step(np.array([1]))
+        assert dones[0]
+        assert rewards[0] == 1.0
+        assert infos[0]["step"] == 1
+        assert observations.shape == (1, 2)
+
+    def test_action_count_checked(self):
+        vec = VectorizedEnvironment([_LineWorld(), _LineWorld()])
+        vec.reset()
+        with pytest.raises(ValueError):
+            vec.step(np.array([0]))
+
+    def test_empty_env_list_rejected(self):
+        with pytest.raises(ValueError):
+            VectorizedEnvironment([])
+
+
+class TestPpoTrainer:
+    def test_learns_trivial_task(self):
+        vec = VectorizedEnvironment([_LineWorld(), _LineWorld()])
+        config = PpoConfig(num_steps=32, minibatch_size=32, num_epochs=4,
+                           hidden_sizes=(16,), entropy_coef=0.0, learning_rate=3e-3)
+        trainer = PpoTrainer(vec, config=config, seed=0)
+        trainer.train(1536)
+        probabilities = trainer.policy.action_probabilities(np.array([[1.0, 0.0]]))
+        assert probabilities[0, 1] > 0.8
+
+    def test_summary_statistics_populated(self):
+        vec = VectorizedEnvironment([_LineWorld()])
+        config = PpoConfig(num_steps=16, minibatch_size=16, num_epochs=1, hidden_sizes=(8,))
+        summary = PpoTrainer(vec, config=config, seed=0).train(64)
+        assert summary.total_steps >= 64
+        assert summary.total_episodes > 0
+        assert summary.loss_history
+        assert summary.elapsed_seconds > 0
+        assert summary.steps_per_minute > 0
+
+    def test_boosted_exploration_config(self):
+        config = PpoConfig()
+        boosted = config.boosted_exploration()
+        assert boosted.entropy_coef == 1.0
+        assert boosted.gae_lambda == 0.99
+        assert config.entropy_coef != boosted.entropy_coef
+
+    def test_entropy_bonus_keeps_policy_stochastic(self):
+        vec_low = VectorizedEnvironment([_LineWorld()])
+        vec_high = VectorizedEnvironment([_LineWorld()])
+        base = dict(num_steps=32, minibatch_size=32, num_epochs=4, hidden_sizes=(16,),
+                    learning_rate=3e-3)
+        low = PpoTrainer(vec_low, config=PpoConfig(entropy_coef=0.0, **base), seed=1)
+        high = PpoTrainer(vec_high, config=PpoConfig(entropy_coef=1.0, **base), seed=1)
+        low.train(1024)
+        high.train(1024)
+        observation = np.array([[1.0, 0.0]])
+        entropy_low = -np.sum(low.policy.action_probabilities(observation)
+                              * np.log(low.policy.action_probabilities(observation) + 1e-12))
+        entropy_high = -np.sum(high.policy.action_probabilities(observation)
+                               * np.log(high.policy.action_probabilities(observation) + 1e-12))
+        assert entropy_high > entropy_low
