@@ -1,10 +1,15 @@
 """Shared profile for the benchmark suite.
 
-Every benchmark regenerates one of the paper's tables or figures at a reduced
-scale (the ``BENCH`` profile below) and is executed exactly once per session
+Most benchmarks regenerate one of the paper's tables or figures at a reduced
+scale (the ``BENCH`` profile below) and are executed exactly once per session
 (``rounds=1``) because each run is itself a full experiment, not a micro-
-benchmark.  Run ``python -m repro.experiments.<name> full`` for results closer
-to paper scale.
+benchmark; ``test_simulation_engine.py`` is the exception — a true
+micro-benchmark of the compiled simulation engine.  Run
+``python -m repro.experiments.<name> full`` for results closer to paper
+scale.
+
+The package is importable after ``pip install -e .[dev]`` (see
+``pyproject.toml``); no ``PYTHONPATH`` manipulation is needed.
 """
 
 from __future__ import annotations

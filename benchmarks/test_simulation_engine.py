@@ -1,0 +1,95 @@
+"""Micro-benchmark: compiled engine vs the seed per-gate simulation loop.
+
+Unlike the other benchmarks (which regenerate paper tables/figures), this one
+times the simulation substrate itself:
+
+- ``test_compiled_engine_speedup`` simulates 4096 random patterns on the
+  largest library circuit with the seed implementation (per-gate Python loop
+  over ``Gate`` objects with dict lookups, kept as the shim's ``reference``
+  engine) and with the compiled engine, and asserts the compiled engine is at
+  least 10x faster end to end.
+- ``test_batched_trojan_evaluation`` evaluates a 30-Trojan population with
+  the batched single-simulation path and with the literal
+  one-infected-netlist-per-Trojan flow, asserting identical verdicts and
+  reporting the speedup.
+"""
+
+import statistics
+import time
+
+import numpy as np
+
+from repro.baselines.random_patterns import random_pattern_set
+from repro.circuits.library import load_benchmark
+from repro.simulation.compiled import compile_netlist
+from repro.simulation.logic_sim import BitParallelSimulator
+from repro.simulation.rare_nets import extract_rare_nets
+from repro.trojan.evaluation import sequential_trigger_coverage, trigger_coverage
+from repro.trojan.insertion import sample_trojans
+
+NUM_PATTERNS = 4096
+
+
+def _median_seconds(function, rounds: int) -> float:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        function()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def test_compiled_engine_speedup(benchmark):
+    netlist = load_benchmark("mips16_like")
+    compiled = compile_netlist(netlist)
+    rng = np.random.default_rng(0)
+    patterns = rng.integers(0, 2, size=(NUM_PATTERNS, compiled.num_sources), dtype=np.uint8)
+
+    reference = BitParallelSimulator(netlist, engine="reference")
+    reference.run_patterns(patterns[:128])  # warm caches / lazy imports
+    t_reference = _median_seconds(lambda: reference.run_patterns(patterns), rounds=3)
+
+    compiled.run_patterns(patterns)  # warm
+    t_compiled = _median_seconds(lambda: compiled.run_patterns(patterns), rounds=5)
+    # Record the compiled hot path in the benchmark JSON artifact as well.
+    benchmark.pedantic(compiled.run_patterns, args=(patterns,), rounds=5, iterations=1)
+
+    speedup = t_reference / t_compiled
+    print(
+        f"\nmips16_like @ {NUM_PATTERNS} patterns: "
+        f"reference {t_reference * 1e3:.2f} ms, compiled {t_compiled * 1e3:.3f} ms, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 10.0, (
+        f"compiled engine is only {speedup:.1f}x faster than the seed per-gate "
+        f"loop (reference {t_reference * 1e3:.2f} ms vs compiled {t_compiled * 1e3:.3f} ms)"
+    )
+
+
+def test_batched_trojan_evaluation(benchmark):
+    netlist = load_benchmark("c2670_like")
+    rare = extract_rare_nets(netlist, threshold=0.1, num_patterns=2048, seed=0)
+    trojans = sample_trojans(netlist, rare, num_trojans=30, trigger_width=4, seed=1)
+    assert len(trojans) >= 30
+    pattern_set = random_pattern_set(netlist, num_patterns=1024, seed=2)
+
+    start = time.perf_counter()
+    sequential = sequential_trigger_coverage(netlist, trojans, pattern_set)
+    t_sequential = time.perf_counter() - start
+
+    trigger_coverage(netlist, trojans, pattern_set)  # warm the compile cache
+    start = time.perf_counter()
+    batched = trigger_coverage(netlist, trojans, pattern_set)
+    t_batched = time.perf_counter() - start
+    benchmark.pedantic(
+        trigger_coverage, args=(netlist, trojans, pattern_set), rounds=3, iterations=1
+    )
+
+    print(
+        f"\n{len(trojans)} Trojans @ {len(pattern_set)} patterns: "
+        f"per-Trojan {t_sequential * 1e3:.1f} ms, batched {t_batched * 1e3:.2f} ms, "
+        f"speedup {t_sequential / t_batched:.1f}x"
+    )
+    assert batched.detected == sequential.detected
+    assert batched.num_detected == sequential.num_detected
+    assert t_batched < t_sequential

@@ -1,0 +1,14 @@
+"""Root pytest bootstrap.
+
+Makes the src-layout package importable when the repository is used from a
+fresh checkout without ``pip install -e .`` — an installed ``repro`` (editable
+or regular) always takes precedence.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e . --no-use-pep517`` (legacy editable install) keeps working
+on environments whose setuptools predates bundled ``bdist_wheel`` support and
+that cannot fetch the ``wheel`` package (offline containers).
+"""
+
+from setuptools import setup
+
+setup()

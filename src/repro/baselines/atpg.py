@@ -12,10 +12,12 @@ simple pattern compaction.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.circuits.netlist import Netlist
 from repro.core.patterns import PatternSet
 from repro.sat.justify import Justifier
-from repro.simulation.logic_sim import BitParallelSimulator
+from repro.simulation.compiled import compile_netlist
 from repro.simulation.rare_nets import RareNet
 
 
@@ -46,19 +48,18 @@ def atpg_pattern_set(
     if not compact or len(pattern_set) == 0:
         return pattern_set
 
-    simulator = BitParallelSimulator(netlist)
-    values = simulator.run_patterns(pattern_set.patterns)
-    covered: set[str] = set()
+    compiled = compile_netlist(netlist)
+    # One compiled simulation answers every (pattern, rare net) activation.
+    active = compiled.activations(
+        pattern_set.patterns, [(rare.net, rare.rare_value) for rare in rare_nets]
+    )
+    covered = np.zeros(len(rare_nets), dtype=bool)
     keep: list[int] = []
     for index in range(len(pattern_set)):
-        newly_covered = {
-            rare.net
-            for rare in rare_nets
-            if rare.net not in covered and values[rare.net][index] == rare.rare_value
-        }
-        if newly_covered:
+        newly_covered = active[index] & ~covered
+        if newly_covered.any():
             keep.append(index)
-            covered.update(newly_covered)
+            covered |= newly_covered
     return PatternSet(
         sources=pattern_set.sources,
         patterns=pattern_set.patterns[keep],

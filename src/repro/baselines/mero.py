@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.circuits.netlist import Netlist
 from repro.core.patterns import PatternSet
-from repro.simulation.logic_sim import BitParallelSimulator
+from repro.simulation.compiled import CompiledNetlist, compile_netlist
 from repro.simulation.rare_nets import RareNet
 from repro.utils.rng import RngLike, make_rng
 
@@ -33,14 +33,15 @@ class MeroConfig:
 
 
 def _activation_counts(
-    simulator: BitParallelSimulator, patterns: np.ndarray, rare_nets: list[RareNet]
+    compiled: CompiledNetlist, patterns: np.ndarray, rare_nets: list[RareNet]
 ) -> np.ndarray:
-    """Matrix ``[pattern, rare_net]`` of rare-value activations."""
-    values = simulator.run_patterns(patterns)
-    matrix = np.zeros((patterns.shape[0], len(rare_nets)), dtype=bool)
-    for column, rare in enumerate(rare_nets):
-        matrix[:, column] = values[rare.net] == rare.rare_value
-    return matrix
+    """Matrix ``[pattern, rare_net]`` of rare-value activations.
+
+    Runs on the compiled engine and only unpacks the rare-net rows, which
+    matters because MERO calls this once per candidate bit flip.
+    """
+    requirements = [(rare.net, rare.rare_value) for rare in rare_nets]
+    return compiled.activations(patterns, requirements)
 
 
 def mero_pattern_set(
@@ -52,14 +53,14 @@ def mero_pattern_set(
     """Run the MERO algorithm and return the selected pattern set."""
     config = config or MeroConfig()
     rng = make_rng(seed if seed is not None else config.seed)
-    simulator = BitParallelSimulator(netlist)
-    sources = simulator.sources
+    compiled = compile_netlist(netlist)
+    sources = compiled.sources
     num_sources = len(sources)
     if not rare_nets:
         return PatternSet.empty(netlist, technique="MERO")
 
     patterns = rng.integers(0, 2, size=(config.num_random_patterns, num_sources), dtype=np.uint8)
-    activation = _activation_counts(simulator, patterns, rare_nets)
+    activation = _activation_counts(compiled, patterns, rare_nets)
     # Sort patterns by decreasing number of rare nets they already activate
     # (MERO processes the most promising patterns first).
     order = np.argsort(-activation.sum(axis=1))
@@ -74,11 +75,11 @@ def mero_pattern_set(
         if np.all(detection_counts >= config.n_detect):
             break
         pattern = patterns[pattern_index].copy()
-        best_active = _activation_counts(simulator, pattern[None, :], rare_nets)[0]
+        best_active = _activation_counts(compiled, pattern[None, :], rare_nets)[0]
         flip_order = rng.permutation(num_sources)[:max_flips]
         for bit in flip_order:
             pattern[bit] ^= 1
-            active = _activation_counts(simulator, pattern[None, :], rare_nets)[0]
+            active = _activation_counts(compiled, pattern[None, :], rare_nets)[0]
             # Keep the flip only if it helps nets that still need detections.
             needs = detection_counts < config.n_detect
             if (active & needs).sum() > (best_active & needs).sum():

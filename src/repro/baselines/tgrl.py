@@ -21,7 +21,7 @@ from repro.circuits.netlist import Netlist
 from repro.core.patterns import PatternSet
 from repro.rl.env import Environment, StepResult, VectorizedEnvironment
 from repro.rl.ppo import PpoConfig, PpoTrainer
-from repro.simulation.logic_sim import BitParallelSimulator
+from repro.simulation.compiled import CompiledNetlist, compile_netlist
 from repro.simulation.rare_nets import RareNet
 from repro.simulation.testability import scoap_testability
 from repro.utils.rng import RngLike, make_rng, spawn_rngs
@@ -46,14 +46,17 @@ class TgrlEnv(Environment):
 
     def __init__(
         self,
-        simulator: BitParallelSimulator,
+        simulator: CompiledNetlist,
         rare_nets: list[RareNet],
         weights: np.ndarray,
         episode_length: int,
         seed: RngLike = None,
     ) -> None:
+        if not isinstance(simulator, CompiledNetlist):
+            # Accept the legacy BitParallelSimulator shim for compatibility.
+            simulator = compile_netlist(simulator.netlist)
         self._simulator = simulator
-        self._rare_nets = rare_nets
+        self._requirements = [(rare.net, rare.rare_value) for rare in rare_nets]
         self._weights = weights
         self._episode_length = episode_length
         self._rng = make_rng(seed)
@@ -91,11 +94,12 @@ class TgrlEnv(Environment):
         return StepResult(self._pattern.astype(np.float64), reward, done, {})
 
     def _pattern_reward(self, pattern: np.ndarray) -> float:
-        values = self._simulator.run_patterns(pattern[None, :])
-        activated = np.array(
-            [values[rare.net][0] == rare.rare_value for rare in self._rare_nets],
-            dtype=np.float64,
-        )
+        """Weighted rare-net activation, evaluated on the compiled engine.
+
+        This runs once per training step, so only the rare-net rows of the
+        packed value matrix are unpacked.
+        """
+        activated = self._simulator.activations(pattern[None, :], self._requirements)[0]
         return float((activated * self._weights).sum())
 
 
@@ -128,7 +132,7 @@ def tgrl_pattern_set(
     config = config or TgrlConfig()
     if not rare_nets:
         return PatternSet.empty(netlist, technique="TGRL")
-    simulator = BitParallelSimulator(netlist)
+    simulator = compile_netlist(netlist)
     weights = _reward_weights(netlist, rare_nets, config)
     rngs = spawn_rngs(seed if seed is not None else config.seed, config.num_envs)
     environments = [

@@ -201,6 +201,19 @@ class Netlist:
         """
         return tuple(self._inputs) + tuple(self._flip_flops)
 
+    def memo(self, key: str, builder):
+        """Return a cached derived structure, building it on first use.
+
+        The cache is invalidated whenever the netlist mutates, so expensive
+        derived views (levelised schedules, compiled simulators) stay
+        consistent with the structure without explicit lifetime management.
+        """
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = builder()
+            self._cache[key] = cached
+        return cached
+
     def copy(self, name: str | None = None) -> "Netlist":
         """Return a deep structural copy of the netlist."""
         clone = Netlist(name or self.name)

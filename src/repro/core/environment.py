@@ -136,8 +136,8 @@ class TriggerActivationEnv(Environment):
     # ------------------------------------------------------------------
     def _observation(self) -> np.ndarray:
         observation = np.zeros(self.observation_dim, dtype=np.float64)
-        for index in self._selected:
-            observation[index] = 1.0
+        if self._selected:
+            observation[np.fromiter(self._selected, dtype=np.int64)] = 1.0
         return observation
 
     def _valid_action_mask(self) -> np.ndarray:

@@ -17,6 +17,7 @@ from repro.core.agent import AgentResult, DeterrentAgent
 from repro.core.compatibility import CompatibilityAnalysis, compute_compatibility
 from repro.core.config import DeterrentConfig
 from repro.core.patterns import PatternSet, generate_patterns
+from repro.simulation.compiled import compile_netlist
 from repro.simulation.rare_nets import RareNet, extract_rare_nets
 from repro.utils.timing import Stopwatch
 
@@ -64,6 +65,11 @@ class DeterrentPipeline:
         config = self.config
         stopwatch = Stopwatch().start()
         combinational = ensure_combinational(netlist)
+        # Lower the netlist once up front; every downstream simulation —
+        # probability estimation, baselines, coverage evaluation — reuses the
+        # cached compiled engine instead of re-walking Gate objects.
+        compile_netlist(combinational)
+        stopwatch.lap("compile")
 
         if rare_nets is None:
             rare_nets = extract_rare_nets(

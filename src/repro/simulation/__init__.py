@@ -1,12 +1,24 @@
-"""Logic simulation, signal probabilities, rare nets, and testability."""
+"""Logic simulation, signal probabilities, rare nets, and testability.
 
+The hot path is the compiled engine (:mod:`repro.simulation.compiled`);
+:class:`BitParallelSimulator` remains as a dict-API compatibility shim.
+"""
+
+from repro.simulation.compiled import (
+    CompiledNetlist,
+    batched_conjunctions,
+    compile_netlist,
+)
 from repro.simulation.logic_sim import BitParallelSimulator, simulate_pattern
-from repro.simulation.probability import estimate_signal_probabilities, cop_probabilities
+from repro.simulation.probability import cop_probabilities, estimate_signal_probabilities
 from repro.simulation.rare_nets import RareNet, extract_rare_nets
 from repro.simulation.testability import scoap_testability
 
 __all__ = [
     "BitParallelSimulator",
+    "CompiledNetlist",
+    "compile_netlist",
+    "batched_conjunctions",
     "simulate_pattern",
     "estimate_signal_probabilities",
     "cop_probabilities",

@@ -1,0 +1,321 @@
+"""Compiled bit-parallel simulation engine.
+
+:class:`CompiledNetlist` lowers a :class:`~repro.circuits.netlist.Netlist`
+once into flat numpy index arrays and then evaluates every net on a single
+``(num_nets, num_words)`` ``uint64`` value matrix:
+
+- every net gets a dense integer id (sources first, then gate outputs);
+- gates are levelised and grouped by ``(level, word-op, fan-in)``; each group
+  stores one ``(fanin, group_size)`` operand-id buffer and one output-id
+  vector, so a whole group evaluates as a single ``ufunc.reduce`` over a
+  fancy-indexed operand block — there is no per-gate Python dispatch on the
+  hot path;
+- compilation results are cached on the netlist itself (via
+  :meth:`Netlist.memo`), so repeated simulations of the same structure —
+  signal-probability estimation, baseline pattern search, Trojan-coverage
+  evaluation — share one compiled artefact that is invalidated automatically
+  when the netlist mutates.
+
+The engine also exposes the packed value matrix directly, which enables
+*batched multi-Trojan evaluation*: a whole population of trigger conjunctions
+is checked against one clean-netlist simulation by AND-reducing the packed
+rows of the trigger nets (see :func:`batched_conjunctions` and
+:mod:`repro.trojan.evaluation`), instead of simulating one infected netlist
+per Trojan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.gates import Gate, GateType
+from repro.circuits.netlist import Netlist
+from repro.utils.rng import RngLike, make_rng
+
+_WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_MEMO_KEY = "compiled_netlist"
+
+#: Word-level reduction family implementing each gate type, plus an inversion
+#: flag.  BUF/NOT join the AND family (an AND over one operand is the
+#: identity), so a whole level usually compiles to at most three groups.
+_OPCODES: dict[GateType, tuple[np.ufunc, bool]] = {
+    GateType.AND: (np.bitwise_and, False),
+    GateType.NAND: (np.bitwise_and, True),
+    GateType.OR: (np.bitwise_or, False),
+    GateType.NOR: (np.bitwise_or, True),
+    GateType.XOR: (np.bitwise_xor, False),
+    GateType.XNOR: (np.bitwise_xor, True),
+    GateType.BUF: (np.bitwise_and, False),
+    GateType.NOT: (np.bitwise_and, True),
+}
+
+#: Identity element of each reduction family, used to pad narrow gates up to
+#: the group fan-in (AND pads with constant 1, OR/XOR with constant 0).
+_PAD_WITH_ONES = {np.bitwise_and: True, np.bitwise_or: False, np.bitwise_xor: False}
+
+
+@dataclass(frozen=True)
+class _GateGroup:
+    """One batch of same-family gates evaluated by a single numpy reduction.
+
+    Inverting gate types (NAND/NOR/XNOR/NOT) are folded into ``invert_mask``,
+    a per-gate uint64 vector XOR-ed into the reduced result, so mixed
+    inverting/non-inverting gates share one group.
+    """
+
+    reduce: np.ufunc
+    operands: np.ndarray  # (fanin, group_size) int64 net ids
+    outputs: np.ndarray  # (group_size,) int64 net ids
+    invert_mask: np.ndarray | None  # (group_size, 1) uint64, or None
+
+
+class CompiledNetlist:
+    """A netlist lowered to flat index buffers for matrix-at-once simulation."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        if netlist.is_sequential:
+            raise ValueError(
+                "CompiledNetlist requires a combinational netlist; apply "
+                "full-scan conversion first (repro.circuits.scan.ensure_combinational)"
+            )
+        self.netlist = netlist
+        self._sources: tuple[str, ...] = netlist.combinational_sources()
+        order = netlist.topological_gates()
+        names = list(self._sources) + [gate.output for gate in order]
+        self._index: dict[str, int] = {net: i for i, net in enumerate(names)}
+        if len(self._index) != len(names):
+            raise ValueError("netlist has duplicate net names across sources and gates")
+        self.net_names: tuple[str, ...] = tuple(names)
+        self.num_sources = len(self._sources)
+        self.num_nets = len(names)
+        # Two hidden constant rows (all-zeros / all-ones) appended after the
+        # real nets serve as reduction-identity padding operands.
+        self._const0_id = self.num_nets
+        self._const1_id = self.num_nets + 1
+        self._schedule, self._levelized = self._build_schedule(order, netlist.levels())
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def sources(self) -> tuple[str, ...]:
+        """Controllable nets (primary inputs; pseudo inputs after scan)."""
+        return self._sources
+
+    def index_of(self, net: str) -> int:
+        """Dense id of ``net`` (row index in the value matrix)."""
+        try:
+            return self._index[net]
+        except KeyError:
+            raise KeyError(
+                f"net {net!r} does not exist in netlist {self.netlist.name!r}"
+            ) from None
+
+    def __contains__(self, net: str) -> bool:
+        return net in self._index
+
+    def levelized_gates(self) -> tuple[Gate, ...]:
+        """Gates in the compiled evaluation order (levelised, group-batched)."""
+        return self._levelized
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run_packed(self, packed_inputs: np.ndarray) -> np.ndarray:
+        """Evaluate packed input words into a ``(num_nets, num_words)`` matrix.
+
+        ``packed_inputs`` must have shape ``(num_sources, num_words)``; row
+        ``i`` of the result holds the packed values of net ``net_names[i]``.
+        """
+        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
+        if packed_inputs.ndim != 2 or packed_inputs.shape[0] != self.num_sources:
+            raise ValueError(
+                f"packed inputs must have shape ({self.num_sources}, num_words), "
+                f"got {packed_inputs.shape}"
+            )
+        num_words = packed_inputs.shape[1]
+        values = np.empty((self.num_nets + 2, num_words), dtype=np.uint64)
+        values[: self.num_sources] = packed_inputs
+        values[self._const0_id] = 0
+        values[self._const1_id] = _ALL_ONES
+        for group in self._schedule:
+            block = values[group.operands]  # (fanin, size, num_words), a copy
+            out = group.reduce.reduce(block, axis=0)
+            if group.invert_mask is not None:
+                out ^= group.invert_mask
+            values[group.outputs] = out
+        return values[: self.num_nets]
+
+    def run_patterns(self, patterns: np.ndarray) -> tuple[np.ndarray, int]:
+        """Pack and simulate a ``(num_patterns, num_sources)`` 0/1 array.
+
+        Returns ``(matrix, num_patterns)`` with ``matrix`` as in
+        :meth:`run_packed`.
+        """
+        from repro.simulation.logic_sim import pack_patterns
+
+        patterns = np.atleast_2d(np.asarray(patterns))
+        if patterns.shape[1] != self.num_sources:
+            raise ValueError(
+                f"pattern width {patterns.shape[1]} does not match the number of "
+                f"controllable nets ({self.num_sources})"
+            )
+        packed, num_patterns = pack_patterns(patterns)
+        return self.run_packed(packed), num_patterns
+
+    def count_ones(self, num_patterns: int, seed: RngLike = None) -> np.ndarray:
+        """Per-net count of 1-values over ``num_patterns`` random patterns.
+
+        Random input words are drawn directly in packed form; the result is an
+        ``int64`` vector aligned with :attr:`net_names`.  The RNG draw matches
+        the historical :meth:`BitParallelSimulator.count_ones` exactly, so
+        seeded probability estimates are reproducible across engines.
+        """
+        if num_patterns <= 0:
+            return np.zeros(self.num_nets, dtype=np.int64)
+        rng = make_rng(seed)
+        num_words = max(1, (num_patterns + _WORD_BITS - 1) // _WORD_BITS)
+        packed = rng.integers(
+            0, 2**64 - 1, size=(self.num_sources, num_words),
+            dtype=np.uint64, endpoint=True,
+        )
+        tail_bits = num_patterns - (num_words - 1) * _WORD_BITS
+        if 0 < tail_bits < _WORD_BITS:
+            packed[:, -1] &= np.uint64((1 << tail_bits) - 1)
+        values = self.run_packed(packed)
+        if 0 < tail_bits < _WORD_BITS:
+            values[:, -1] &= np.uint64((1 << tail_bits) - 1)
+        return np.bitwise_count(values).sum(axis=1, dtype=np.int64)
+
+    def activations(
+        self, patterns: np.ndarray, requirements: list[tuple[str, int]]
+    ) -> np.ndarray:
+        """Boolean matrix ``[pattern, requirement]``: net takes the required value.
+
+        One simulation of the pattern block answers all ``(net, value)``
+        requirements at once; only the requested rows are unpacked.
+        """
+        matrix, num_patterns = self.run_patterns(patterns)
+        if not requirements:
+            return np.zeros((num_patterns, 0), dtype=bool)
+        ids = np.fromiter(
+            (self.index_of(net) for net, _ in requirements), dtype=np.int64
+        )
+        rare_one = np.fromiter(
+            (value == 1 for _, value in requirements), dtype=bool
+        )
+        words = matrix[ids]
+        words[~rare_one] = ~words[~rare_one]
+        return unpack_matrix(words, num_patterns).T.astype(bool)
+
+    def values_dict(
+        self, matrix: np.ndarray, num_patterns: int
+    ) -> dict[str, np.ndarray]:
+        """Unpack a value matrix into the legacy net -> 0/1 vector mapping."""
+        bits = unpack_matrix(matrix, num_patterns)
+        return {net: bits[index] for index, net in enumerate(self.net_names)}
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _build_schedule(
+        self, order: tuple[Gate, ...], levels: dict[str, int]
+    ) -> tuple[tuple[_GateGroup, ...], tuple[Gate, ...]]:
+        grouped: dict[tuple[int, np.ufunc], list[Gate]] = {}
+        for gate in order:
+            reduce, _ = _OPCODES[gate.gate_type]
+            grouped.setdefault((levels[gate.output], reduce), []).append(gate)
+        schedule: list[_GateGroup] = []
+        levelized: list[Gate] = []
+        for key in sorted(grouped, key=lambda k: (k[0], k[1].__name__)):
+            gates = grouped[key]
+            _, reduce = key
+            fanin = max(gate.fanin for gate in gates)
+            pad_id = self._const1_id if _PAD_WITH_ONES[reduce] else self._const0_id
+            operands = np.full((fanin, len(gates)), pad_id, dtype=np.int64)
+            outputs = np.empty(len(gates), dtype=np.int64)
+            invert_mask = np.zeros((len(gates), 1), dtype=np.uint64)
+            any_inverting = False
+            for column, gate in enumerate(gates):
+                outputs[column] = self._index[gate.output]
+                if _OPCODES[gate.gate_type][1]:
+                    invert_mask[column, 0] = _ALL_ONES
+                    any_inverting = True
+                for row, source in enumerate(gate.inputs):
+                    source_id = self._index.get(source)
+                    if source_id is None:
+                        raise KeyError(
+                            f"gate {gate.output!r} reads undriven net {source!r}"
+                        )
+                    operands[row, column] = source_id
+            schedule.append(
+                _GateGroup(
+                    reduce=reduce,
+                    operands=operands,
+                    outputs=outputs,
+                    invert_mask=invert_mask if any_inverting else None,
+                )
+            )
+            levelized.extend(gates)
+        return tuple(schedule), tuple(levelized)
+
+
+def compile_netlist(netlist: Netlist) -> CompiledNetlist:
+    """Compile ``netlist``, reusing the cached artefact when structure allows.
+
+    The compiled view is memoised on the netlist and dropped automatically on
+    any structural mutation, so callers can invoke this freely on hot paths.
+    """
+    return netlist.memo(_MEMO_KEY, lambda: CompiledNetlist(netlist))
+
+
+def unpack_matrix(words: np.ndarray, num_patterns: int) -> np.ndarray:
+    """Unpack ``(rows, num_words)`` uint64 words into ``(rows, num_patterns)`` bits."""
+    words = np.atleast_2d(np.asarray(words, dtype=np.uint64))
+    if num_patterns <= 0:
+        return np.zeros((words.shape[0], 0), dtype=np.uint8)
+    shifts = np.arange(_WORD_BITS, dtype=np.uint64)
+    bits = ((words[:, :, None] >> shifts[None, None, :]) & np.uint64(1)).astype(np.uint8)
+    return bits.reshape(words.shape[0], -1)[:, :num_patterns]
+
+
+def batched_conjunctions(
+    matrix: np.ndarray,
+    conjunctions: list[tuple[np.ndarray, np.ndarray]],
+    num_patterns: int,
+) -> np.ndarray:
+    """Evaluate many value conjunctions on one packed value matrix.
+
+    Each conjunction is ``(net_ids, required_values)``; the result is a
+    boolean ``(num_conjunctions, num_patterns)`` activation matrix.  This is
+    the batched multi-Trojan primitive: conjunctions of equal width are
+    stacked and AND-reduced together, so the cost of evaluating a whole
+    Trojan population is a handful of numpy reductions over rows of a single
+    clean-netlist simulation.
+    """
+    activations = np.zeros((len(conjunctions), num_patterns), dtype=bool)
+    if not conjunctions or num_patterns == 0:
+        return activations
+    by_width: dict[int, list[int]] = {}
+    for position, (ids, _) in enumerate(conjunctions):
+        by_width.setdefault(len(ids), []).append(position)
+    for width, positions in by_width.items():
+        ids = np.stack([conjunctions[p][0] for p in positions])  # (T, width)
+        required = np.stack([conjunctions[p][1] for p in positions])  # (T, width)
+        words = matrix[ids]  # (T, width, num_words)
+        flip = required == 0
+        words[flip] = ~words[flip]
+        fired = np.bitwise_and.reduce(words, axis=1)  # (T, num_words)
+        activations[positions] = unpack_matrix(fired, num_patterns).astype(bool)
+    return activations
+
+
+__all__ = [
+    "CompiledNetlist",
+    "compile_netlist",
+    "batched_conjunctions",
+    "unpack_matrix",
+]

@@ -1,10 +1,21 @@
-"""Bit-parallel gate-level logic simulation.
+"""Bit-parallel gate-level logic simulation (compatibility shim + packing).
 
 The simulator packs 64 test patterns per machine word (numpy ``uint64``) and
 evaluates the netlist once in topological order, so simulating ``P`` patterns
 costs ``O(gates * P / 64)`` word operations.  This is the substitute for the
 Synopsys VCS simulations the paper uses for rare-net extraction and for
 evaluating test patterns on Trojan-infected netlists.
+
+Since the compiled-engine refactor, the hot path lives in
+:mod:`repro.simulation.compiled`: a :class:`CompiledNetlist` lowers the
+netlist once into flat index buffers and evaluates all nets on a single
+``(num_nets, num_words)`` matrix with grouped numpy reductions.
+:class:`BitParallelSimulator` is kept as a thin compatibility shim over that
+engine — it preserves the historical dict-of-arrays API that tests, examples,
+and external callers rely on.  Construct it with ``engine="reference"`` to
+get the original per-gate Python interpreter instead; that path exists for
+differential testing and as the baseline of the engine micro-benchmark, not
+for production use.
 
 Sequential netlists must be converted to their full-scan combinational view
 first (:func:`repro.circuits.scan.ensure_combinational`); the simulator
@@ -14,10 +25,13 @@ results.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Netlist
+from repro.simulation.compiled import compile_netlist, unpack_matrix
 from repro.utils.rng import RngLike, make_rng
 
 _WORD_BITS = 64
@@ -29,43 +43,66 @@ def pack_patterns(patterns: np.ndarray) -> tuple[np.ndarray, int]:
 
     Returns ``(packed, num_patterns)`` where ``packed`` has shape
     ``(num_inputs, num_words)`` and bit ``p % 64`` of word ``p // 64`` holds
-    pattern ``p``'s value for that input.
+    pattern ``p``'s value for that input.  Inputs are validated to be 0/1:
+    any other value (e.g. a stray 2) would otherwise corrupt neighbouring
+    bit lanes through the packing arithmetic.
     """
-    patterns = np.asarray(patterns, dtype=np.uint64)
+    patterns = np.asarray(patterns)
     if patterns.ndim != 2:
         raise ValueError(f"patterns must be 2-D, got shape {patterns.shape}")
+    if patterns.size and not np.all((patterns == 0) | (patterns == 1)):
+        offending = patterns[(patterns != 0) & (patterns != 1)].ravel()[0]
+        raise ValueError(
+            f"patterns must contain only 0/1 values, found {offending!r}"
+        )
     num_patterns, num_inputs = patterns.shape
     num_words = max(1, (num_patterns + _WORD_BITS - 1) // _WORD_BITS)
-    padded = np.zeros((num_words * _WORD_BITS, num_inputs), dtype=np.uint64)
+    padded = np.zeros((num_inputs, num_words * _WORD_BITS), dtype=np.uint8)
     if num_patterns:
-        padded[:num_patterns] = patterns
-    weights = np.uint64(1) << np.arange(_WORD_BITS, dtype=np.uint64)
-    grouped = padded.reshape(num_words, _WORD_BITS, num_inputs)
-    packed = (grouped * weights[None, :, None]).sum(axis=1, dtype=np.uint64).T
-    return np.ascontiguousarray(packed), num_patterns
+        padded[:, :num_patterns] = patterns.T
+    packed_bytes = np.packbits(padded, axis=1, bitorder="little")
+    packed = packed_bytes.view(np.dtype("<u8"))
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        packed = packed.astype(np.uint64)
+    return np.ascontiguousarray(packed, dtype=np.uint64), num_patterns
 
 
 def unpack_values(words: np.ndarray, num_patterns: int) -> np.ndarray:
-    """Unpack uint64 words back into a 0/1 vector of length ``num_patterns``."""
+    """Unpack uint64 words back into a 0/1 vector of length ``num_patterns``.
+
+    ``num_patterns=0`` is handled explicitly and yields an empty vector.
+    """
     words = np.asarray(words, dtype=np.uint64)
-    shifts = np.arange(_WORD_BITS, dtype=np.uint64)
-    bits = ((words[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
-    return bits.reshape(-1)[:num_patterns]
+    if num_patterns <= 0:
+        return np.zeros(0, dtype=np.uint8)
+    return unpack_matrix(words[None, :], num_patterns)[0]
 
 
 class BitParallelSimulator:
-    """Levelised 64-way bit-parallel simulator for a combinational netlist."""
+    """Levelised 64-way bit-parallel simulator for a combinational netlist.
 
-    def __init__(self, netlist: Netlist) -> None:
+    A thin shim over :class:`repro.simulation.compiled.CompiledNetlist` that
+    keeps the historical per-net dict API.  ``engine="reference"`` selects
+    the original per-gate Python loop (slow; used as the differential-testing
+    oracle and the micro-benchmark baseline).
+    """
+
+    def __init__(self, netlist: Netlist, engine: str = "compiled") -> None:
         if netlist.is_sequential:
             raise ValueError(
                 "BitParallelSimulator requires a combinational netlist; apply "
                 "full-scan conversion first (repro.circuits.scan.ensure_combinational)"
             )
+        if engine not in ("compiled", "reference"):
+            raise ValueError(
+                f"engine must be 'compiled' or 'reference', got {engine!r}"
+            )
         self.netlist = netlist
+        self.engine = engine
         self._sources = netlist.combinational_sources()
         self._source_index = {net: i for i, net in enumerate(self._sources)}
         self._order = netlist.topological_gates()
+        self._compiled = compile_netlist(netlist) if engine == "compiled" else None
 
     @property
     def sources(self) -> tuple[str, ...]:
@@ -77,14 +114,19 @@ class BitParallelSimulator:
     # ------------------------------------------------------------------
     def run_packed(self, packed_inputs: np.ndarray) -> dict[str, np.ndarray]:
         """Simulate packed input words; returns packed words for every net."""
+        if self._compiled is not None:
+            matrix = self._compiled.run_packed(packed_inputs)
+            # net_names is ordered sources-then-topological-gates, matching
+            # the historical dict ordering of this method.
+            return dict(zip(self._compiled.net_names, matrix))
         num_words = packed_inputs.shape[1]
-        values: dict[str, np.ndarray] = {}
+        values = {}
         for index, net in enumerate(self._sources):
-            values[net] = packed_inputs[index].astype(np.uint64, copy=True)
+            values[net] = np.asarray(packed_inputs[index], dtype=np.uint64).copy()
         for gate in self._order:
-            values[gate.output] = _evaluate_packed(gate.gate_type,
-                                                   [values[s] for s in gate.inputs],
-                                                   num_words)
+            values[gate.output] = _evaluate_packed(
+                gate.gate_type, [values[s] for s in gate.inputs], num_words
+            )
         return values
 
     def run_patterns(self, patterns: np.ndarray) -> dict[str, np.ndarray]:
@@ -112,7 +154,6 @@ class BitParallelSimulator:
 
         Returns ``(patterns, values)`` where ``patterns`` is the generated
         0/1 array and ``values`` maps each net to its 0/1 response vector.
-        Random words are drawn directly in packed form for speed.
         """
         rng = make_rng(seed)
         patterns = rng.integers(0, 2, size=(num_patterns, len(self._sources)), dtype=np.uint8)
@@ -123,8 +164,18 @@ class BitParallelSimulator:
 
         This is the fast path used by signal-probability estimation: random
         input words are generated directly in packed form and only popcounts
-        are kept, so memory stays ``O(nets)``.
+        are kept, so memory stays ``O(nets)``.  The RNG draw is identical in
+        both engines, keeping seeded estimates reproducible.
         """
+        if self._compiled is not None:
+            counts = self._compiled.count_ones(num_patterns, seed=seed)
+            return {
+                net: int(counts[index])
+                for index, net in enumerate(self._compiled.net_names)
+            }
+        if num_patterns <= 0:
+            values = self.run_packed(np.zeros((len(self._sources), 1), dtype=np.uint64))
+            return {net: 0 for net in values}
         rng = make_rng(seed)
         num_words = max(1, (num_patterns + _WORD_BITS - 1) // _WORD_BITS)
         packed = rng.integers(
@@ -132,18 +183,16 @@ class BitParallelSimulator:
             dtype=np.uint64, endpoint=True,
         )
         tail_bits = num_patterns - (num_words - 1) * _WORD_BITS
+        tail_mask = None
         if 0 < tail_bits < _WORD_BITS:
             tail_mask = np.uint64((1 << tail_bits) - 1)
             packed[:, -1] &= tail_mask
         values = self.run_packed(packed)
-        tail_mask_full = None
-        if 0 < tail_bits < _WORD_BITS:
-            tail_mask_full = np.uint64((1 << tail_bits) - 1)
         counts: dict[str, int] = {}
         for net, words in values.items():
-            if tail_mask_full is not None:
+            if tail_mask is not None:
                 words = words.copy()
-                words[-1] &= tail_mask_full
+                words[-1] &= tail_mask
             counts[net] = int(np.bitwise_count(words).sum())
         return counts
 
@@ -151,7 +200,7 @@ class BitParallelSimulator:
 def _evaluate_packed(
     gate_type: GateType, operands: list[np.ndarray], num_words: int
 ) -> np.ndarray:
-    """Evaluate one gate on packed 64-bit words."""
+    """Evaluate one gate on packed 64-bit words (reference engine only)."""
     result = operands[0].astype(np.uint64, copy=True)
     if gate_type in (GateType.AND, GateType.NAND):
         for operand in operands[1:]:
@@ -181,7 +230,8 @@ def simulate_pattern(netlist: Netlist, assignment: dict[str, int]) -> dict[str, 
     """Simulate a single input assignment given as a net-name -> 0/1 mapping.
 
     Convenience wrapper used by tests, examples, and the Trojan evaluator's
-    scalar cross-checks.
+    scalar cross-checks.  Repeated calls on the same netlist reuse the cached
+    compiled engine, so this stays cheap inside loops.
     """
     simulator = BitParallelSimulator(netlist)
     vector = np.zeros((1, len(simulator.sources)), dtype=np.uint8)

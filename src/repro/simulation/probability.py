@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Netlist
-from repro.simulation.logic_sim import BitParallelSimulator
+from repro.simulation.compiled import compile_netlist
 from repro.utils.rng import RngLike
 
 
@@ -24,12 +24,20 @@ def estimate_signal_probabilities(
     num_patterns: int = 4096,
     seed: RngLike = None,
 ) -> dict[str, float]:
-    """Estimate P(net = 1) for every net by simulating random patterns."""
+    """Estimate P(net = 1) for every net by simulating random patterns.
+
+    Runs on the compiled engine: the netlist is lowered once (and cached), the
+    random words are evaluated matrix-at-once, and the per-net popcounts come
+    back as a single vectorised ``bitwise_count``.
+    """
     if num_patterns <= 0:
         raise ValueError(f"num_patterns must be positive, got {num_patterns}")
-    simulator = BitParallelSimulator(netlist)
-    counts = simulator.count_ones(num_patterns, seed=seed)
-    return {net: count / num_patterns for net, count in counts.items()}
+    compiled = compile_netlist(netlist)
+    counts = compiled.count_ones(num_patterns, seed=seed)
+    return {
+        net: int(counts[index]) / num_patterns
+        for index, net in enumerate(compiled.net_names)
+    }
 
 
 def cop_probabilities(netlist: Netlist, input_probability: float = 0.5) -> dict[str, float]:

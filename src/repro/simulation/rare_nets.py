@@ -7,7 +7,9 @@ Trojan trigger would require it to take.
 
 Rare nets are the action space of the DETERRENT agent and the sampling space
 for Trojan trigger insertion, so this module is the interface between the
-circuit substrate and everything above it.
+circuit substrate and everything above it.  Probability estimation runs on
+the compiled simulation engine (:mod:`repro.simulation.compiled`), so
+repeated extractions on the same netlist reuse one compiled artefact.
 """
 
 from __future__ import annotations

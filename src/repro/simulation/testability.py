@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.circuits.gates import GateType
 from repro.circuits.netlist import Netlist
+from repro.simulation.compiled import compile_netlist
 
 
 @dataclass(frozen=True)
@@ -31,14 +32,27 @@ class Testability:
 
 
 def scoap_testability(netlist: Netlist) -> dict[str, Testability]:
-    """Compute SCOAP CC0/CC1/CO for every net of a combinational netlist."""
+    """Compute SCOAP CC0/CC1/CO for every net of a combinational netlist.
+
+    Shares the compiled engine's cached levelised gate schedule: the forward
+    controllability sweep follows the compiled evaluation order and the
+    backward observability sweep follows it in reverse (levels descending),
+    which is a valid (reverse) topological order.  Sequential netlists (whose
+    flip-flop outputs count as sources) fall back to the netlist's own
+    topological order, as the compiled engine is combinational-only.
+    """
+    if netlist.is_sequential:
+        sources = netlist.combinational_sources()
+        order = netlist.topological_gates()
+    else:
+        compiled = compile_netlist(netlist)
+        sources = compiled.sources
+        order = compiled.levelized_gates()
     cc0: dict[str, float] = {}
     cc1: dict[str, float] = {}
-    for net in netlist.combinational_sources():
+    for net in sources:
         cc0[net] = 1.0
         cc1[net] = 1.0
-
-    order = netlist.topological_gates()
     for gate in order:
         zero, one = _controllability(gate.gate_type,
                                      [(cc0[s], cc1[s]) for s in gate.inputs])

@@ -5,6 +5,7 @@ from repro.trojan.insertion import sample_trojans, insert_trojan
 from repro.trojan.evaluation import (
     CoverageResult,
     trigger_coverage,
+    sequential_trigger_coverage,
     coverage_curve,
 )
 
@@ -15,5 +16,6 @@ __all__ = [
     "insert_trojan",
     "CoverageResult",
     "trigger_coverage",
+    "sequential_trigger_coverage",
     "coverage_curve",
 ]

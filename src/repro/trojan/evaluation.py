@@ -7,6 +7,18 @@ netlist: simulate the pattern set once, then check per Trojan whether any
 pattern drives all trigger nets to their required values simultaneously.
 This is exactly what simulating the HT-infected netlist and comparing outputs
 against the golden response would conclude, at a fraction of the cost.
+
+Since the compiled-engine refactor this module evaluates a whole Trojan
+population in ONE batched pass: the clean netlist is simulated once on the
+compiled engine (:mod:`repro.simulation.compiled`), and every trigger
+conjunction is checked directly on the packed ``uint64`` value matrix —
+triggers of equal width are stacked and AND-reduced together, so no value is
+ever unpacked to per-pattern bits except the final per-trigger activation
+rows.  The historical one-netlist-per-Trojan flow survives as
+:func:`sequential_trigger_coverage`, which really inserts each Trojan and
+simulates the infected netlist against the golden response; it is the slow
+reference used by the parity tests and by anyone who wants to double-check
+the batched shortcut end to end.
 """
 
 from __future__ import annotations
@@ -17,7 +29,9 @@ import numpy as np
 
 from repro.circuits.netlist import Netlist
 from repro.core.patterns import PatternSet
-from repro.simulation.logic_sim import BitParallelSimulator
+from repro.simulation.compiled import batched_conjunctions, compile_netlist
+from repro.simulation.logic_sim import BitParallelSimulator, pack_patterns
+from repro.trojan.insertion import insert_trojan
 from repro.trojan.model import Trojan
 
 
@@ -47,24 +61,34 @@ class CoverageResult:
 def _activation_matrix(
     netlist: Netlist, trojans: list[Trojan], pattern_set: PatternSet
 ) -> np.ndarray:
-    """Boolean matrix ``[trojan, pattern]``: does the pattern fire the trigger?"""
+    """Boolean matrix ``[trojan, pattern]``: does the pattern fire the trigger?
+
+    One compiled simulation of the clean netlist answers the whole Trojan
+    population: each trigger is a conjunction over rows of the packed value
+    matrix, evaluated in bulk by :func:`batched_conjunctions`.
+    """
     if len(pattern_set) == 0 or not trojans:
         return np.zeros((len(trojans), len(pattern_set)), dtype=bool)
-    simulator = BitParallelSimulator(netlist)
-    if tuple(pattern_set.sources) != tuple(simulator.sources):
+    compiled = compile_netlist(netlist)
+    if tuple(pattern_set.sources) != tuple(compiled.sources):
         raise ValueError(
             "pattern set source ordering does not match the netlist's controllable nets"
         )
-    values = simulator.run_patterns(pattern_set.patterns)
-    activations = np.zeros((len(trojans), len(pattern_set)), dtype=bool)
-    for trojan_index, trojan in enumerate(trojans):
-        fired = np.ones(len(pattern_set), dtype=bool)
-        for net, required in trojan.trigger.requirements:
-            if net not in values:
-                raise KeyError(f"trigger net {net!r} does not exist in netlist {netlist.name!r}")
-            fired &= values[net] == required
-        activations[trojan_index] = fired
-    return activations
+    packed, num_patterns = pack_patterns(pattern_set.patterns)
+    matrix = compiled.run_packed(packed)
+    conjunctions: list[tuple[np.ndarray, np.ndarray]] = []
+    for trojan in trojans:
+        ids = np.empty(trojan.trigger.width, dtype=np.int64)
+        required = np.empty(trojan.trigger.width, dtype=np.uint8)
+        for position, (net, value) in enumerate(trojan.trigger.requirements):
+            if net not in compiled:
+                raise KeyError(
+                    f"trigger net {net!r} does not exist in netlist {netlist.name!r}"
+                )
+            ids[position] = compiled.index_of(net)
+            required[position] = value
+        conjunctions.append((ids, required))
+    return batched_conjunctions(matrix, conjunctions, num_patterns)
 
 
 def trigger_coverage(
@@ -79,6 +103,48 @@ def trigger_coverage(
         num_detected=int(detected.sum()),
         test_length=len(pattern_set),
         detected=[bool(flag) for flag in detected],
+    )
+
+
+def sequential_trigger_coverage(
+    netlist: Netlist, trojans: list[Trojan], pattern_set: PatternSet
+) -> CoverageResult:
+    """Per-Trojan reference evaluation: simulate every infected netlist.
+
+    For each Trojan the infected netlist is actually built
+    (:func:`repro.trojan.insertion.insert_trojan`) and simulated on the full
+    pattern set; the Trojan counts as detected when any primary output differs
+    from the golden response.  This is the paper's literal logic-testing flow
+    and the ground truth that :func:`trigger_coverage`'s batched shortcut is
+    tested against — use it for audits, not in hot loops.
+    """
+    if tuple(pattern_set.sources) != tuple(netlist.combinational_sources()):
+        raise ValueError(
+            "pattern set source ordering does not match the netlist's controllable nets"
+        )
+    detected: list[bool] = []
+    golden_outputs: dict[str, np.ndarray] | None = None
+    if len(pattern_set) and trojans:
+        golden = BitParallelSimulator(netlist).run_patterns(pattern_set.patterns)
+        golden_outputs = {net: golden[net] for net in netlist.outputs}
+    for trojan in trojans:
+        if golden_outputs is None:
+            detected.append(False)
+            continue
+        infected = insert_trojan(netlist, trojan)
+        values = BitParallelSimulator(infected).run_patterns(pattern_set.patterns)
+        detected.append(
+            any(
+                not np.array_equal(values[net], golden_outputs[net])
+                for net in netlist.outputs
+            )
+        )
+    return CoverageResult(
+        technique=pattern_set.technique,
+        num_trojans=len(trojans),
+        num_detected=int(sum(detected)),
+        test_length=len(pattern_set),
+        detected=detected,
     )
 
 
@@ -101,4 +167,9 @@ def coverage_curve(
     return points
 
 
-__all__ = ["CoverageResult", "trigger_coverage", "coverage_curve"]
+__all__ = [
+    "CoverageResult",
+    "trigger_coverage",
+    "sequential_trigger_coverage",
+    "coverage_curve",
+]

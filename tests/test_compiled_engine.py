@@ -1,0 +1,224 @@
+"""Differential tests for the compiled simulation engine.
+
+The compiled engine (:mod:`repro.simulation.compiled`) must match the
+reference per-gate interpreter bit-for-bit on every gate type, on random
+netlists, and on the ISCAS-style library circuits; and the batched
+multi-Trojan evaluator must return exactly the verdicts of the literal
+one-infected-netlist-per-Trojan flow.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_patterns import random_pattern_set
+from repro.circuits import generators
+from repro.circuits.gates import GateType, evaluate_gate
+from repro.circuits.library import load_benchmark
+from repro.circuits.netlist import Netlist
+from repro.simulation.compiled import CompiledNetlist, compile_netlist
+from repro.simulation.logic_sim import (
+    BitParallelSimulator,
+    pack_patterns,
+    unpack_values,
+)
+from repro.simulation.probability import estimate_signal_probabilities
+from repro.simulation.rare_nets import extract_rare_nets
+from repro.trojan.evaluation import sequential_trigger_coverage, trigger_coverage
+from repro.trojan.insertion import sample_trojans
+
+
+def assert_engines_match(netlist, patterns):
+    """Compiled and reference engines agree on every net for ``patterns``."""
+    reference = BitParallelSimulator(netlist, engine="reference").run_patterns(patterns)
+    compiled = BitParallelSimulator(netlist, engine="compiled").run_patterns(patterns)
+    assert set(reference) == set(compiled)
+    for net in reference:
+        assert np.array_equal(reference[net], compiled[net]), f"net {net} diverges"
+
+
+class TestGateTypeEquivalence:
+    @pytest.mark.parametrize("gate_type", list(GateType))
+    @pytest.mark.parametrize("fanin", [1, 2, 3, 4])
+    def test_single_gate_matches_scalar_semantics(self, gate_type, fanin):
+        if fanin < gate_type.min_inputs:
+            pytest.skip("fan-in below the gate's minimum")
+        if gate_type.max_inputs is not None and fanin > gate_type.max_inputs:
+            pytest.skip("fan-in above the gate's maximum")
+        netlist = Netlist(f"{gate_type.value.lower()}{fanin}")
+        inputs = [netlist.add_input(f"i{k}") for k in range(fanin)]
+        netlist.add_gate("y", gate_type, tuple(inputs))
+        netlist.add_output("y")
+        patterns = np.array(list(itertools.product([0, 1], repeat=fanin)), dtype=np.uint8)
+        compiled = compile_netlist(netlist)
+        matrix, num_patterns = compiled.run_patterns(patterns)
+        values = compiled.values_dict(matrix, num_patterns)
+        for row, pattern in enumerate(patterns):
+            assert values["y"][row] == evaluate_gate(gate_type, list(pattern))
+        assert_engines_match(netlist, patterns)
+
+    def test_mixed_gate_level_grouping(self):
+        """Gates of every type at the same level share constant-padded groups."""
+        netlist = Netlist("mixed")
+        inputs = [netlist.add_input(f"i{k}") for k in range(4)]
+        for gate_type in GateType:
+            fanin = 1 if gate_type.max_inputs == 1 else 3
+            netlist.add_gate(f"y_{gate_type.value}", gate_type, tuple(inputs[:fanin]))
+            netlist.add_output(f"y_{gate_type.value}")
+        patterns = np.array(list(itertools.product([0, 1], repeat=4)), dtype=np.uint8)
+        assert_engines_match(netlist, patterns)
+
+
+class TestRandomCircuitEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_netlists_match_reference(self, seed):
+        netlist = generators.random_logic_circuit(
+            f"rand{seed}", num_inputs=8, num_gates=70, num_outputs=6, seed=seed
+        )
+        rng = np.random.default_rng(seed)
+        patterns = rng.integers(0, 2, size=(193, len(netlist.inputs)), dtype=np.uint8)
+        assert_engines_match(netlist, patterns)
+
+    def test_word_boundary_pattern_counts(self, c17):
+        for num_patterns in (1, 63, 64, 65, 128):
+            patterns = np.random.default_rng(num_patterns).integers(
+                0, 2, size=(num_patterns, 5), dtype=np.uint8
+            )
+            assert_engines_match(c17, patterns)
+
+
+class TestLibraryCircuitEquivalence:
+    @pytest.mark.parametrize(
+        "name", ["c17", "c2670_like", "c6288_like", "s13207_like"]
+    )
+    def test_library_circuits_match_reference(self, name):
+        netlist = load_benchmark(name)
+        compiled = compile_netlist(netlist)
+        rng = np.random.default_rng(7)
+        patterns = rng.integers(0, 2, size=(256, compiled.num_sources), dtype=np.uint8)
+        assert_engines_match(netlist, patterns)
+
+    def test_count_ones_matches_reference_engine(self):
+        netlist = load_benchmark("c2670_like")
+        reference = BitParallelSimulator(netlist, engine="reference").count_ones(777, seed=11)
+        compiled = BitParallelSimulator(netlist, engine="compiled").count_ones(777, seed=11)
+        assert reference == compiled
+
+    def test_probability_estimation_unchanged_by_engine(self):
+        netlist = load_benchmark("c17")
+        estimated = estimate_signal_probabilities(netlist, num_patterns=2048, seed=5)
+        counts = BitParallelSimulator(netlist, engine="reference").count_ones(2048, seed=5)
+        for net, probability in estimated.items():
+            assert probability == pytest.approx(counts[net] / 2048)
+
+
+class TestCompileCache:
+    def test_compile_is_cached_per_netlist(self, c17):
+        assert compile_netlist(c17) is compile_netlist(c17)
+
+    def test_mutation_invalidates_cache(self):
+        netlist = generators.c17()
+        first = compile_netlist(netlist)
+        netlist.add_gate("extra", GateType.NOT, ("22",))
+        second = compile_netlist(netlist)
+        assert second is not first
+        assert "extra" in second and "extra" not in first
+
+    def test_rejects_sequential_netlists(self):
+        sequential = generators.sequential_controller("s", state_bits=3, data_width=4)
+        with pytest.raises(ValueError, match="full-scan"):
+            CompiledNetlist(sequential)
+
+    def test_unknown_net_raises_keyerror(self, c17):
+        with pytest.raises(KeyError, match="does not exist"):
+            compile_netlist(c17).index_of("no_such_net")
+
+    def test_count_ones_zero_patterns_is_all_zero(self, c17):
+        compiled = compile_netlist(c17)
+        assert not compiled.count_ones(0, seed=0).any()
+        shim_counts = BitParallelSimulator(c17, engine="reference").count_ones(0, seed=0)
+        assert set(shim_counts.values()) == {0}
+
+    def test_scoap_accepts_sequential_netlists(self):
+        from repro.simulation.testability import scoap_testability
+
+        sequential = generators.sequential_controller("seq", state_bits=3, data_width=4)
+        measures = scoap_testability(sequential)
+        for ff in sequential.flip_flops:
+            assert measures[ff.q].cc0 == 1.0 and measures[ff.q].cc1 == 1.0
+
+
+class TestPackingValidation:
+    def test_pack_rejects_out_of_range_values(self):
+        with pytest.raises(ValueError, match="0/1"):
+            pack_patterns(np.array([[0, 2], [1, 0]]))
+
+    def test_pack_rejects_negative_values(self):
+        with pytest.raises(ValueError, match="0/1"):
+            pack_patterns(np.array([[0, -1]]))
+
+    def test_unpack_zero_patterns(self):
+        assert unpack_values(np.zeros(1, dtype=np.uint64), 0).shape == (0,)
+        packed, count = pack_patterns(np.zeros((0, 3), dtype=np.uint8))
+        assert count == 0
+        assert unpack_values(packed[0], count).size == 0
+
+    def test_pack_unpack_roundtrip_odd_sizes(self):
+        rng = np.random.default_rng(3)
+        patterns = rng.integers(0, 2, size=(65, 9), dtype=np.uint8)
+        packed, count = pack_patterns(patterns)
+        assert packed.shape == (9, 2)
+        for column in range(9):
+            assert np.array_equal(unpack_values(packed[column], count), patterns[:, column])
+
+
+class TestBatchedTrojanParity:
+    def test_batched_matches_sequential_on_random_trojans(self, small_multiplier):
+        """Batched verdicts equal the simulate-every-infected-netlist flow."""
+        rare = extract_rare_nets(small_multiplier, threshold=0.2, num_patterns=2048, seed=0)
+        trojans = sample_trojans(
+            small_multiplier, rare, num_trojans=32, trigger_width=2, seed=1
+        )
+        assert len(trojans) >= 30, "need a real population for the parity check"
+        pattern_set = random_pattern_set(small_multiplier, num_patterns=512, seed=2)
+        batched = trigger_coverage(small_multiplier, trojans, pattern_set)
+        sequential = sequential_trigger_coverage(small_multiplier, trojans, pattern_set)
+        assert batched.detected == sequential.detected
+        assert batched.num_detected == sequential.num_detected
+        assert batched.coverage == sequential.coverage
+
+    def test_batched_matches_sequential_on_mixed_widths(self, small_multiplier):
+        rare = extract_rare_nets(small_multiplier, threshold=0.2, num_patterns=2048, seed=0)
+        trojans = []
+        for width, seed in ((1, 3), (2, 4), (3, 5)):
+            trojans.extend(
+                sample_trojans(
+                    small_multiplier, rare, num_trojans=6, trigger_width=width, seed=seed
+                )
+            )
+        pattern_set = random_pattern_set(small_multiplier, num_patterns=256, seed=6)
+        batched = trigger_coverage(small_multiplier, trojans, pattern_set)
+        sequential = sequential_trigger_coverage(small_multiplier, trojans, pattern_set)
+        assert batched.detected == sequential.detected
+
+    def test_empty_pattern_set_detects_nothing(self, small_multiplier):
+        rare = extract_rare_nets(small_multiplier, threshold=0.2, num_patterns=2048, seed=0)
+        trojans = sample_trojans(
+            small_multiplier, rare, num_trojans=5, trigger_width=2, seed=9
+        )
+        from repro.core.patterns import PatternSet
+
+        empty = PatternSet.empty(small_multiplier, technique="none")
+        batched = trigger_coverage(small_multiplier, trojans, empty)
+        sequential = sequential_trigger_coverage(small_multiplier, trojans, empty)
+        assert batched.detected == sequential.detected == [False] * len(trojans)
+
+    def test_sequential_path_checks_source_ordering(self, small_multiplier, c17):
+        rare = extract_rare_nets(small_multiplier, threshold=0.2, num_patterns=2048, seed=0)
+        trojans = sample_trojans(
+            small_multiplier, rare, num_trojans=2, trigger_width=2, seed=9
+        )
+        mismatched = random_pattern_set(c17, num_patterns=4, seed=0)
+        with pytest.raises(ValueError, match="source ordering"):
+            sequential_trigger_coverage(small_multiplier, trojans, mismatched)

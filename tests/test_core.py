@@ -284,7 +284,8 @@ class TestPipeline:
         assert result.test_length > 0
         assert result.max_compatible_set_size >= 1
         assert set(result.timings) == {
-            "rare_net_extraction", "compatibility", "training", "pattern_generation",
+            "compile", "rare_net_extraction", "compatibility", "training",
+            "pattern_generation",
         }
 
     def test_pipeline_patterns_activate_their_sets(self, small_multiplier, tiny_config):
