@@ -1,0 +1,71 @@
+"""Micro-benchmark: serial vs process-sharded pairwise compatibility.
+
+Times the O(r²) offline-phase compatibility queries (paper §3.3) on the
+largest library circuit, once on the single incremental solver (``n_jobs=1``)
+and once sharded across worker processes, and asserts the two matrices are
+bit-identical.  On multi-core machines the sharded path should win once the
+per-worker CNF re-encoding is amortised; both wall-times are recorded in the
+pytest-benchmark JSON so CI tracks the ratio over time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import load_benchmark
+from repro.core.compatibility import compute_compatibility
+from repro.simulation.rare_nets import extract_rare_nets
+
+#: Largest circuit in the library suite (the paper's MIPS analogue).
+DESIGN = "mips16_like"
+
+#: Cap on rare nets so the quadratic pair count stays CI-sized (top-N most
+#: rare; extraction returns them sorted by ascending probability).
+MAX_RARE_NETS = 72
+
+
+@pytest.fixture(scope="module")
+def workload():
+    netlist = load_benchmark(DESIGN)
+    rare_nets = extract_rare_nets(netlist, threshold=0.1, num_patterns=1024, seed=0)
+    assert len(rare_nets) >= 2, "benchmark needs a non-trivial pair matrix"
+    return netlist, rare_nets[:MAX_RARE_NETS]
+
+
+def test_serial_vs_sharded_compatibility(benchmark, workload):
+    netlist, rare_nets = workload
+    jobs = max(2, os.cpu_count() or 1)
+
+    started = time.perf_counter()
+    serial = compute_compatibility(netlist, rare_nets, n_jobs=1, cache=None)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sharded = compute_compatibility(netlist, rare_nets, n_jobs=jobs, cache=None)
+    sharded_seconds = time.perf_counter() - started
+
+    # Hard acceptance property: sharding never changes the matrix.
+    assert np.array_equal(serial.matrix, sharded.matrix)
+    assert serial.rare_nets == sharded.rare_nets
+
+    benchmark.extra_info["design"] = DESIGN
+    benchmark.extra_info["num_rare_nets"] = serial.num_rare_nets
+    benchmark.extra_info["num_pairs"] = serial.num_rare_nets * (serial.num_rare_nets - 1) // 2
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["sharded_seconds"] = round(sharded_seconds, 3)
+    benchmark.extra_info["speedup"] = round(serial_seconds / max(sharded_seconds, 1e-9), 3)
+
+    # Timed benchmark target: the sharded path (rounds=1 — it is a full
+    # offline phase, not a tight loop).
+    benchmark.pedantic(
+        compute_compatibility,
+        args=(netlist, rare_nets),
+        kwargs={"n_jobs": jobs, "cache": None},
+        rounds=1,
+        iterations=1,
+    )

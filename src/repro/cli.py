@@ -1,0 +1,189 @@
+"""Unified command-line interface: ``python -m repro`` / ``deterrent``.
+
+Subcommands:
+
+- ``deterrent list`` — show every registered experiment.
+- ``deterrent run <experiment> [--profile tiny|quick|full] [--jobs N]
+  [--cache-dir DIR] [--results-dir DIR] [--set key=value ...]`` — execute an
+  experiment through the runner and print its paper-vs-measured report.
+- ``deterrent report [<experiment>] [--results-dir DIR]`` — list saved runs,
+  or re-print the stored report of one experiment.
+
+Every run writes structured artifacts under ``--results-dir`` (default
+``results/``): a JSONL stream with one record per grid cell, plus a final
+JSON run record embedding the rendered report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.reporting import format_table, results_dir
+
+
+def _parse_option(text: str) -> tuple[str, Any]:
+    """Parse one ``--set key=value`` pair (value decoded as JSON if possible)."""
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r} (e.g. --set design=c6288_like)"
+        )
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``deterrent`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="deterrent",
+        description="DETERRENT reproduction: experiment registry, runner, and cache.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment through the runner")
+    run_parser.add_argument("experiment", help="registered experiment name (see 'list')")
+    run_parser.add_argument(
+        "--profile", default="quick", help="execution profile: tiny, quick, or full"
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for grid cells (1 = serial, 0 = all CPUs)",
+    )
+    run_parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact-cache directory (also honoured via DETERRENT_CACHE_DIR)",
+    )
+    run_parser.add_argument(
+        "--results-dir", default=None,
+        help="directory for JSON/JSONL run artifacts (default: results/)",
+    )
+    run_parser.add_argument(
+        "--set", dest="options", action="append", default=[], type=_parse_option,
+        metavar="KEY=VALUE", help="experiment option override (repeatable)",
+    )
+
+    report_parser = subparsers.add_parser("report", help="show saved run reports")
+    report_parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment whose stored report to print (omit to list saved runs)",
+    )
+    report_parser.add_argument(
+        "--profile", default=None, help="restrict to one profile's saved run"
+    )
+    report_parser.add_argument(
+        "--results-dir", default=None, help="directory holding run artifacts"
+    )
+    return parser
+
+
+def _command_list() -> int:
+    from repro.runner.registry import all_experiments
+
+    rows = [[spec.name, spec.title, spec.description] for spec in all_experiments()]
+    print(format_table(["Experiment", "Title", "Description"], rows))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    from repro.runner.execution import run_experiment
+
+    target_dir = Path(args.results_dir) if args.results_dir else results_dir()
+    try:
+        run = run_experiment(
+            args.experiment,
+            profile=args.profile,
+            jobs=args.jobs,
+            options=dict(args.options),
+            cache_dir=args.cache_dir,
+            results_dir=target_dir,
+        )
+    except (KeyError, ValueError) as error:
+        # Unknown experiment/profile/option: a usage error, not a crash.
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(run.report_text)
+    print(
+        f"\n{run.experiment} [{run.profile}] finished in {run.elapsed:.1f}s "
+        f"({len(run.outcomes)} cells, jobs={run.jobs})"
+    )
+    if run.cache_stats is not None:
+        print(
+            f"artifact cache: {run.cache_stats['hits']} hits, "
+            f"{run.cache_stats['misses']} misses"
+        )
+    if run.results_path is not None:
+        print(f"results written to {run.results_path}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    target_dir = Path(args.results_dir) if args.results_dir else results_dir()
+    records = []
+    for path in sorted(target_dir.glob("*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(record, dict) and "experiment" in record and "report" in record:
+            records.append((path, record))
+    if not records:
+        print(f"no saved runs under {target_dir}/ (run 'deterrent run <experiment>' first)")
+        return 1
+
+    if args.experiment is None:
+        rows = [
+            [
+                record["experiment"],
+                record.get("profile"),
+                len(record.get("cells", [])),
+                record.get("elapsed_seconds"),
+                str(path),
+            ]
+            for path, record in records
+        ]
+        print(format_table(["Experiment", "Profile", "Cells", "Elapsed (s)", "File"], rows))
+        return 0
+
+    matches = [
+        (path, record)
+        for path, record in records
+        if record["experiment"] == args.experiment
+        and (args.profile is None or record.get("profile") == args.profile)
+    ]
+    if not matches:
+        print(f"no saved run for {args.experiment!r} under {target_dir}/")
+        return 1
+    for _, record in matches:
+        print(f"== {record['experiment']} [{record.get('profile')}] ==")
+        print(record["report"])
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "report":
+            return _command_report(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

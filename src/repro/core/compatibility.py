@@ -4,9 +4,12 @@ Two rare nets are *compatible* when some input pattern drives both to their
 rare values simultaneously.  DETERRENT precomputes the full pairwise
 compatibility dictionary before training (§3.3) so that action masking and the
 end-of-episode state transitions become dictionary lookups instead of SAT
-calls.  The paper parallelises this over 64 processes; here a single
-incremental SAT solver answers all pairs (the circuit is encoded once and each
-pair is an assumption-based query), which is fast enough at benchmark scale.
+calls.  The paper parallelises this over 64 processes; here the O(r²) pair
+queries are answered either by a single incremental SAT solver (``n_jobs=1``)
+or sharded across a process pool in which every worker owns its own solver
+over the shared CNF encoding (:mod:`repro.runner.parallel`).  Both paths
+produce bit-identical matrices, and results are memoised in the on-disk
+artifact cache (:mod:`repro.runner.cache`) when one is configured.
 
 The same structure doubles as the compatibility *graph* used by the TARMAC
 baseline's maximal-clique sampling.
@@ -19,6 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.circuits.netlist import Netlist
+from repro.runner.cache import ArtifactCache, get_default_cache, netlist_fingerprint
+from repro.runner.parallel import parallel_compatibility_matrix, serial_compatibility_matrix
 from repro.sat.justify import Justifier
 from repro.simulation.rare_nets import RareNet
 
@@ -92,48 +97,88 @@ class CompatibilityAnalysis:
         return graph
 
 
+#: Sentinel meaning "use the process-wide default artifact cache".
+_DEFAULT_CACHE = object()
+
+
 def compute_compatibility(
     netlist: Netlist,
     rare_nets: list[RareNet],
     *,
-    n_workers: int = 1,
+    n_jobs: int = 1,
     justifier: Justifier | None = None,
+    cache: ArtifactCache | None | object = _DEFAULT_CACHE,
+    n_workers: int | None = None,
 ) -> CompatibilityAnalysis:
     """Build the :class:`CompatibilityAnalysis` for ``rare_nets`` of ``netlist``.
 
-    ``n_workers`` is accepted for interface parity with the paper's
-    64-process precomputation but the computation is sequential: the
-    incremental SAT solver makes each pair query cheap enough that process
-    parallelism is unnecessary at this scale.
+    Args:
+        netlist: combinational netlist to analyse.
+        rare_nets: candidate rare nets (order defines matrix indexing of the
+            activatable subset).
+        n_jobs: worker processes for the O(r²) pair queries.  ``1`` answers
+            everything on one incremental solver; ``> 1`` shards the pair
+            matrix across a process pool (bit-identical result); ``<= 0``
+            means one worker per CPU.
+        justifier: optional pre-built solver stack to reuse (also attached to
+            the returned analysis for downstream witness generation).
+        cache: artifact cache for memoising the result on disk; defaults to
+            the process-wide cache (:func:`repro.runner.cache
+            .get_default_cache`), pass ``None`` to disable.
+        n_workers: deprecated alias for ``n_jobs`` (paper-parity name kept
+            from the original serial interface).
+
+    The boolean matrix is bit-identical across all execution paths (serial,
+    sharded, cache hit).  Downstream SAT *witnesses* are not guaranteed
+    identical across paths: the CDCL solver keeps learned clauses, so a
+    justifier that answered the pair queries itself (serial path) is in a
+    different state than a fresh one (cache hit / sharded path), and may
+    return different — equally valid — models for the same requirements.
     """
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers is not None:
+        # The legacy alias keeps its original strict contract (>= 1); the
+        # n_jobs spelling additionally allows <= 0 as "one worker per CPU".
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        n_jobs = n_workers
+    if cache is _DEFAULT_CACHE:
+        cache = get_default_cache()
+
     justifier = justifier or Justifier(netlist)
 
-    activatable: list[RareNet] = []
-    unsatisfiable: list[RareNet] = []
-    for rare in rare_nets:
-        if justifier.is_satisfiable({rare.net: rare.rare_value}):
-            activatable.append(rare)
-        else:
-            unsatisfiable.append(rare)
+    def _build() -> dict:
+        activatable: list[RareNet] = []
+        unsatisfiable: list[RareNet] = []
+        for rare in rare_nets:
+            if justifier.is_satisfiable({rare.net: rare.rare_value}):
+                activatable.append(rare)
+            else:
+                unsatisfiable.append(rare)
 
-    count = len(activatable)
-    matrix = np.zeros((count, count), dtype=bool)
-    np.fill_diagonal(matrix, True)
-    for i in range(count):
-        for j in range(i + 1, count):
-            compatible = justifier.are_compatible(
-                {activatable[i].net: activatable[i].rare_value},
-                {activatable[j].net: activatable[j].rare_value},
-            )
-            matrix[i, j] = compatible
-            matrix[j, i] = compatible
+        requirements = [(rare.net, rare.rare_value) for rare in activatable]
+        if n_jobs == 1 or len(activatable) < 2:
+            matrix = serial_compatibility_matrix(justifier, requirements)
+        else:
+            matrix = parallel_compatibility_matrix(netlist, requirements, n_jobs)
+        return {"rare_nets": activatable, "matrix": matrix, "unsatisfiable": unsatisfiable}
+
+    if cache is not None:
+        # fetch() is single-flight across processes: concurrent workers that
+        # need the same analysis serialise on a file lock instead of each
+        # recomputing the O(r^2) pair queries.
+        artifact = cache.fetch(
+            "compatibility",
+            _build,
+            netlist=netlist_fingerprint(netlist),
+            rare_nets=[(rare.net, rare.rare_value) for rare in rare_nets],
+        )
+    else:
+        artifact = _build()
     return CompatibilityAnalysis(
         netlist=netlist,
-        rare_nets=activatable,
-        matrix=matrix,
-        unsatisfiable=unsatisfiable,
+        rare_nets=artifact["rare_nets"],
+        matrix=artifact["matrix"],
+        unsatisfiable=artifact["unsatisfiable"],
         justifier=justifier,
     )
 

@@ -17,6 +17,7 @@ from repro.core.agent import AgentResult, DeterrentAgent
 from repro.core.compatibility import CompatibilityAnalysis, compute_compatibility
 from repro.core.config import DeterrentConfig
 from repro.core.patterns import PatternSet, generate_patterns
+from repro.runner.cache import get_default_cache, netlist_fingerprint
 from repro.simulation.compiled import compile_netlist
 from repro.simulation.rare_nets import RareNet, extract_rare_nets
 from repro.utils.timing import Stopwatch
@@ -72,12 +73,26 @@ class DeterrentPipeline:
         stopwatch.lap("compile")
 
         if rare_nets is None:
-            rare_nets = extract_rare_nets(
-                combinational,
-                threshold=config.rareness_threshold,
-                num_patterns=config.num_probability_patterns,
-                seed=config.seed,
-            )
+            def _extract() -> list[RareNet]:
+                return extract_rare_nets(
+                    combinational,
+                    threshold=config.rareness_threshold,
+                    num_patterns=config.num_probability_patterns,
+                    seed=config.seed,
+                )
+
+            cache = get_default_cache()
+            if cache is not None:
+                rare_nets = cache.fetch(
+                    "rare_nets",
+                    _extract,
+                    netlist=netlist_fingerprint(combinational),
+                    threshold=config.rareness_threshold,
+                    num_patterns=config.num_probability_patterns,
+                    seed=config.seed,
+                )
+            else:
+                rare_nets = _extract()
         stopwatch.lap("rare_net_extraction")
         if not rare_nets:
             raise ValueError(
@@ -86,7 +101,11 @@ class DeterrentPipeline:
             )
 
         if compatibility is None:
-            compatibility = compute_compatibility(combinational, rare_nets)
+            # Sharded across config.n_jobs worker processes (paper §3.3);
+            # memoised in the default artifact cache when one is configured.
+            compatibility = compute_compatibility(
+                combinational, rare_nets, n_jobs=config.n_jobs
+            )
         stopwatch.lap("compatibility")
         if compatibility.num_rare_nets == 0:
             raise ValueError(

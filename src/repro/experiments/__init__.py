@@ -13,11 +13,22 @@ Each module exposes ``run(profile=...)`` returning structured results and a
 - :mod:`repro.experiments.figure7`  — rareness-threshold sweep (Figure 7).
 - :mod:`repro.experiments.transfer` — §4.5 threshold-transfer experiment.
 - :mod:`repro.experiments.ablations`— design-choice ablations from DESIGN.md.
+- :mod:`repro.experiments.pipeline_run` — end-to-end Figure-4 pipeline flow.
 
-Every harness supports the ``quick`` profile (seconds-to-minutes, used by the
-benchmark suite) and the ``full`` profile (closer to paper scale).
+Every harness implements the runner protocol (``cells`` / ``run_cell`` /
+``collect`` / ``report``) and is registered in
+:mod:`repro.runner.registry`, so it can execute through
+``deterrent run <name>`` with any profile (``tiny``, ``quick``, ``full``)
+and any worker-process count; the module-level ``run(...)`` functions remain
+as thin wrappers over the runner for programmatic use.
 """
 
-from repro.experiments.common import ExperimentProfile, QUICK, FULL, prepare_benchmark
+from repro.experiments.common import (
+    ExperimentProfile,
+    FULL,
+    QUICK,
+    TINY,
+    prepare_benchmark,
+)
 
-__all__ = ["ExperimentProfile", "QUICK", "FULL", "prepare_benchmark"]
+__all__ = ["ExperimentProfile", "QUICK", "FULL", "TINY", "prepare_benchmark"]

@@ -16,6 +16,7 @@ from repro.core.agent import DeterrentAgent
 from repro.core.patterns import generate_patterns
 from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
 from repro.experiments.reporting import format_table
+from repro.runner.registry import GridCell
 from repro.trojan.evaluation import trigger_coverage
 
 
@@ -37,37 +38,67 @@ def _evaluate(context, agent_result, profile, k_patterns) -> tuple[int, float]:
     return len(patterns), coverage.coverage_percent
 
 
+#: Option keys this harness accepts (validated by the runner).
+OPTIONS = ("design",)
+
+
+def cells(profile: ExperimentProfile, options: dict) -> list[GridCell]:
+    """One grid cell per ablated configuration (the k sweep shares one agent)."""
+    design = options.get("design", "c6288_like")
+    return [
+        GridCell(name="reward-linear",
+                 params={"design": design, "kind": "reward_power", "power": 1.0,
+                         "label": "reward |s| (linear)"}),
+        GridCell(name="reward-squared",
+                 params={"design": design, "kind": "reward_power", "power": 2.0,
+                         "label": "reward |s|^2 (paper)"}),
+        GridCell(name="pairwise-only",
+                 params={"design": design, "kind": "pairwise_only",
+                         "label": "pairwise-only compatibility"}),
+        GridCell(name="k-sweep", params={"design": design, "kind": "k_sweep"}),
+    ]
+
+
+def run_cell(params: dict, profile: ExperimentProfile) -> list[AblationPoint]:
+    """Run one ablated configuration (the k sweep yields several points)."""
+    context = prepare_benchmark(params["design"], profile)
+    kind = params["kind"]
+    if kind == "reward_power":
+        config = profile.deterrent_config(reward_power=params["power"])
+    elif kind == "pairwise_only":
+        config = profile.deterrent_config(exact_set_reward=False)
+    elif kind == "k_sweep":
+        config = profile.deterrent_config()
+    else:
+        raise ValueError(f"unknown ablation kind {kind!r}")
+    agent_result = DeterrentAgent(context.compatibility, config).train()
+
+    if kind == "k_sweep":
+        points: list[AblationPoint] = []
+        for k in (profile.k_patterns // 4, profile.k_patterns // 2, profile.k_patterns):
+            if k <= 0:
+                continue
+            length, coverage = _evaluate(context, agent_result, profile, k)
+            points.append(AblationPoint(
+                f"k = {k}", agent_result.max_compatible_set_size, length, coverage
+            ))
+        return points
+    length, coverage = _evaluate(context, agent_result, profile, profile.k_patterns)
+    return [AblationPoint(
+        params["label"], agent_result.max_compatible_set_size, length, coverage
+    )]
+
+
+def collect(results: list[list[AblationPoint]]) -> list[AblationPoint]:
+    """Flatten cell results, preserving grid order."""
+    return [point for cell_points in results for point in cell_points]
+
+
 def run(design: str = "c6288_like", profile: ExperimentProfile = QUICK) -> list[AblationPoint]:
     """Run the ablation grid on one design."""
-    context = prepare_benchmark(design, profile)
-    points: list[AblationPoint] = []
+    from repro.runner.execution import run_experiment
 
-    # 1. Reward shape: linear vs squared.
-    for power, label in ((1.0, "reward |s| (linear)"), (2.0, "reward |s|^2 (paper)")):
-        config = profile.deterrent_config(reward_power=power)
-        agent_result = DeterrentAgent(context.compatibility, config).train()
-        length, coverage = _evaluate(context, agent_result, profile, profile.k_patterns)
-        points.append(AblationPoint(label, agent_result.max_compatible_set_size, length, coverage))
-
-    # 2. Exact vs pairwise-only set verification.
-    config = profile.deterrent_config(exact_set_reward=False)
-    agent_result = DeterrentAgent(context.compatibility, config).train()
-    length, coverage = _evaluate(context, agent_result, profile, profile.k_patterns)
-    points.append(AblationPoint(
-        "pairwise-only compatibility", agent_result.max_compatible_set_size, length, coverage
-    ))
-
-    # 3. k sweep on the paper-default agent.
-    config = profile.deterrent_config()
-    agent_result = DeterrentAgent(context.compatibility, config).train()
-    for k in (profile.k_patterns // 4, profile.k_patterns // 2, profile.k_patterns):
-        if k <= 0:
-            continue
-        length, coverage = _evaluate(context, agent_result, profile, k)
-        points.append(AblationPoint(
-            f"k = {k}", agent_result.max_compatible_set_size, length, coverage
-        ))
-    return points
+    return run_experiment("ablations", profile=profile, options={"design": design}).collected
 
 
 def report(points: list[AblationPoint]) -> str:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.core.agent import DeterrentAgent
 from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
 from repro.experiments.reporting import format_table
+from repro.runner.registry import GridCell
 
 #: Approximate values read from the paper's Figure 2 bar chart (MIPS).
 PAPER_FIGURE2 = {
@@ -34,26 +35,51 @@ class ComboResult:
     max_compatible: int
 
 
+#: Option keys this harness accepts (validated by the runner).
+OPTIONS = ("design",)
+
+
+def cells(profile: ExperimentProfile, options: dict) -> list[GridCell]:
+    """One grid cell per (reward mode, masking) combination."""
+    design = options.get("design", "mips16_like")
+    return [
+        GridCell(
+            name=f"{reward_mode}-{'masked' if masking else 'unmasked'}",
+            params={"design": design, "reward_mode": reward_mode, "masking": masking},
+        )
+        for reward_mode in ("per_step", "end_of_episode")
+        for masking in (False, True)
+    ]
+
+
+def run_cell(params: dict, profile: ExperimentProfile) -> ComboResult:
+    """Train one agent for one combination and collect its metrics."""
+    context = prepare_benchmark(params["design"], profile)
+    config = profile.deterrent_config(
+        reward_mode=params["reward_mode"], masking=params["masking"]
+    )
+    agent = DeterrentAgent(context.compatibility, config)
+    agent_result = agent.train()
+    return ComboResult(
+        reward_mode=params["reward_mode"],
+        masking=params["masking"],
+        episodes_per_minute=agent_result.summary.episodes_per_minute,
+        max_compatible=agent_result.max_compatible_set_size,
+    )
+
+
+def collect(results: list[ComboResult]) -> list[ComboResult]:
+    """Cell results, in grid order."""
+    return results
+
+
 def run(
     design: str = "mips16_like", profile: ExperimentProfile = QUICK
 ) -> list[ComboResult]:
-    """Train one agent per combination and collect Figure 2's metrics."""
-    context = prepare_benchmark(design, profile)
-    results: list[ComboResult] = []
-    for reward_mode in ("per_step", "end_of_episode"):
-        for masking in (False, True):
-            config = profile.deterrent_config(reward_mode=reward_mode, masking=masking)
-            agent = DeterrentAgent(context.compatibility, config)
-            agent_result = agent.train()
-            results.append(
-                ComboResult(
-                    reward_mode=reward_mode,
-                    masking=masking,
-                    episodes_per_minute=agent_result.summary.episodes_per_minute,
-                    max_compatible=agent_result.max_compatible_set_size,
-                )
-            )
-    return results
+    """Run all four combinations through the experiment runner."""
+    from repro.runner.execution import run_experiment
+
+    return run_experiment("figure2", profile=profile, options={"design": design}).collected
 
 
 def report(results: list[ComboResult]) -> str:

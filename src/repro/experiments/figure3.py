@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.agent import DeterrentAgent
 from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
 from repro.experiments.reporting import format_table
+from repro.runner.registry import GridCell
 
 
 @dataclass
@@ -37,23 +38,45 @@ class ExplorationResult:
         return float(np.mean(np.abs(tail)))
 
 
+#: Option keys this harness accepts (validated by the runner).
+OPTIONS = ("design",)
+
+
+def cells(profile: ExperimentProfile, options: dict) -> list[GridCell]:
+    """One grid cell per exploration setting."""
+    design = options.get("design", "c2670_like")
+    return [
+        GridCell(name=label, params={"design": design, "label": label, "boosted": boosted})
+        for label, boosted in (("default", False), ("boosted", True))
+    ]
+
+
+def run_cell(params: dict, profile: ExperimentProfile) -> ExplorationResult:
+    """Train one agent with one exploration setting."""
+    context = prepare_benchmark(params["design"], profile)
+    config = profile.deterrent_config(boosted_exploration=params["boosted"])
+    agent = DeterrentAgent(context.compatibility, config)
+    agent_result = agent.train()
+    return ExplorationResult(
+        label=params["label"],
+        loss_history=list(agent_result.summary.loss_history),
+        num_distinct_sets=len(agent_result.distinct_sets),
+        max_compatible=agent_result.max_compatible_set_size,
+    )
+
+
+def collect(results: list[ExplorationResult]) -> dict[str, ExplorationResult]:
+    """Key the cell results by exploration label."""
+    return {result.label: result for result in results}
+
+
 def run(
     design: str = "c2670_like", profile: ExperimentProfile = QUICK
 ) -> dict[str, ExplorationResult]:
     """Train a default-exploration and a boosted-exploration agent."""
-    context = prepare_benchmark(design, profile)
-    results: dict[str, ExplorationResult] = {}
-    for label, boosted in (("default", False), ("boosted", True)):
-        config = profile.deterrent_config(boosted_exploration=boosted)
-        agent = DeterrentAgent(context.compatibility, config)
-        agent_result = agent.train()
-        results[label] = ExplorationResult(
-            label=label,
-            loss_history=list(agent_result.summary.loss_history),
-            num_distinct_sets=len(agent_result.distinct_sets),
-            max_compatible=agent_result.max_compatible_set_size,
-        )
-    return results
+    from repro.runner.execution import run_experiment
+
+    return run_experiment("figure3", profile=profile, options={"design": design}).collected
 
 
 def report(results: dict[str, ExplorationResult]) -> str:

@@ -14,8 +14,9 @@ from dataclasses import dataclass
 from repro.baselines.tgrl import TgrlConfig, tgrl_pattern_set
 from repro.core.agent import DeterrentAgent
 from repro.core.patterns import generate_patterns
-from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
+from repro.experiments.common import ExperimentProfile, QUICK, as_tuple, prepare_benchmark
 from repro.experiments.reporting import format_table
+from repro.runner.registry import GridCell
 from repro.trojan.evaluation import trigger_coverage
 from repro.trojan.insertion import sample_trojans
 
@@ -33,32 +34,58 @@ class WidthPoint:
     tgrl_coverage: float
 
 
-def run(
-    design: str = "c6288_like",
-    widths: tuple[int, ...] = DEFAULT_WIDTHS,
-    profile: ExperimentProfile = QUICK,
-) -> list[WidthPoint]:
-    """Evaluate DETERRENT and TGRL pattern sets against each trigger width."""
-    context = prepare_benchmark(design, profile)
+@dataclass
+class TechniqueSweep:
+    """One technique's coverage across the width sweep (one grid cell)."""
 
-    agent = DeterrentAgent(context.compatibility, profile.deterrent_config())
-    agent_result = agent.train()
-    deterrent_patterns = generate_patterns(
-        context.compatibility, agent_result.largest_sets(profile.k_patterns),
-        technique="DETERRENT",
-    )
-    tgrl_patterns = tgrl_pattern_set(
-        context.netlist,
-        context.compatibility.rare_nets,
-        TgrlConfig(
-            total_training_steps=profile.tgrl_training_steps,
-            num_envs=profile.num_envs,
-            seed=profile.seed,
-        ),
-    )
+    technique: str
+    points: list[tuple[int, int, float]]  # (width, num_trojans, coverage %)
 
-    points: list[WidthPoint] = []
-    for width in widths:
+
+#: Option keys this harness accepts (validated by the runner).
+OPTIONS = ("design", "widths")
+
+
+def cells(profile: ExperimentProfile, options: dict) -> list[GridCell]:
+    """One grid cell per technique; each sweeps every trigger width."""
+    design = options.get("design", "c6288_like")
+    widths = as_tuple(options.get("widths", DEFAULT_WIDTHS))
+    return [
+        GridCell(name=technique, params={"design": design, "widths": widths,
+                                         "technique": technique})
+        for technique in ("DETERRENT", "TGRL")
+    ]
+
+
+def run_cell(params: dict, profile: ExperimentProfile) -> TechniqueSweep:
+    """Build one technique's pattern set and evaluate it at every width.
+
+    Trojan populations are sampled with a per-width seed derived only from
+    ``(profile.seed, width)``, so both technique cells evaluate against the
+    same populations even when they run in different worker processes.
+    """
+    context = prepare_benchmark(params["design"], profile)
+    technique = params["technique"]
+    if technique == "DETERRENT":
+        agent = DeterrentAgent(context.compatibility, profile.deterrent_config())
+        agent_result = agent.train()
+        patterns = generate_patterns(
+            context.compatibility, agent_result.largest_sets(profile.k_patterns),
+            technique="DETERRENT",
+        )
+    else:
+        patterns = tgrl_pattern_set(
+            context.netlist,
+            context.compatibility.rare_nets,
+            TgrlConfig(
+                total_training_steps=profile.tgrl_training_steps,
+                num_envs=profile.num_envs,
+                seed=profile.seed,
+            ),
+        )
+
+    points: list[tuple[int, int, float]] = []
+    for width in params["widths"]:
         if width > context.num_rare_nets:
             continue
         trojans = sample_trojans(
@@ -71,19 +98,43 @@ def run(
         )
         if not trojans:
             continue
-        points.append(
-            WidthPoint(
-                width=width,
-                num_trojans=len(trojans),
-                deterrent_coverage=trigger_coverage(
-                    context.netlist, trojans, deterrent_patterns
-                ).coverage_percent,
-                tgrl_coverage=trigger_coverage(
-                    context.netlist, trojans, tgrl_patterns
-                ).coverage_percent,
-            )
+        coverage = trigger_coverage(context.netlist, trojans, patterns)
+        points.append((width, len(trojans), coverage.coverage_percent))
+    return TechniqueSweep(technique=technique, points=points)
+
+
+def collect(results: list[TechniqueSweep]) -> list[WidthPoint]:
+    """Merge the per-technique sweeps into joint width points."""
+    by_technique = {sweep.technique: dict() for sweep in results}
+    counts: dict[int, int] = {}
+    for sweep in results:
+        for width, num_trojans, coverage in sweep.points:
+            by_technique[sweep.technique][width] = coverage
+            counts[width] = num_trojans
+    deterrent = by_technique.get("DETERRENT", {})
+    tgrl = by_technique.get("TGRL", {})
+    return [
+        WidthPoint(
+            width=width,
+            num_trojans=counts[width],
+            deterrent_coverage=deterrent[width],
+            tgrl_coverage=tgrl[width],
         )
-    return points
+        for width in sorted(set(deterrent) & set(tgrl))
+    ]
+
+
+def run(
+    design: str = "c6288_like",
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+    profile: ExperimentProfile = QUICK,
+) -> list[WidthPoint]:
+    """Evaluate DETERRENT and TGRL pattern sets against each trigger width."""
+    from repro.runner.execution import run_experiment
+
+    return run_experiment(
+        "figure5", profile=profile, options={"design": design, "widths": widths}
+    ).collected
 
 
 def report(points: list[WidthPoint]) -> str:

@@ -13,8 +13,9 @@ from dataclasses import dataclass
 from repro.baselines.tgrl import TgrlConfig, tgrl_pattern_set
 from repro.core.agent import DeterrentAgent
 from repro.core.patterns import generate_patterns
-from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
+from repro.experiments.common import ExperimentProfile, QUICK, as_tuple, prepare_benchmark
 from repro.experiments.reporting import format_table
+from repro.runner.registry import GridCell
 from repro.trojan.evaluation import coverage_curve
 
 #: Designs shown in the paper's Figure 6.
@@ -38,21 +39,43 @@ class CurveResult:
         return None
 
 
-def run(
-    designs: tuple[str, ...] = DEFAULT_DESIGNS, profile: ExperimentProfile = QUICK
-) -> list[CurveResult]:
-    """Compute cumulative coverage curves for DETERRENT and TGRL."""
-    results: list[CurveResult] = []
-    for design in designs:
-        context = prepare_benchmark(design, profile)
+@dataclass
+class CurveCell:
+    """One technique's cumulative coverage curve on one design (one cell)."""
+
+    design: str
+    technique: str
+    curve: list[tuple[int, float]]
+
+
+#: Option keys this harness accepts (validated by the runner).
+OPTIONS = ("designs",)
+
+
+def cells(profile: ExperimentProfile, options: dict) -> list[GridCell]:
+    """One grid cell per (design, technique)."""
+    designs = as_tuple(options.get("designs", DEFAULT_DESIGNS))
+    return [
+        GridCell(name=f"{design}-{technique}",
+                 params={"design": design, "technique": technique})
+        for design in designs
+        for technique in ("DETERRENT", "TGRL")
+    ]
+
+
+def run_cell(params: dict, profile: ExperimentProfile) -> CurveCell:
+    """Build one technique's pattern set and its cumulative coverage curve."""
+    context = prepare_benchmark(params["design"], profile)
+    if params["technique"] == "DETERRENT":
         agent = DeterrentAgent(context.compatibility, profile.deterrent_config())
         agent_result = agent.train()
-        deterrent_patterns = generate_patterns(
+        patterns = generate_patterns(
             context.compatibility,
             agent_result.largest_sets(profile.k_patterns),
             technique="DETERRENT",
         )
-        tgrl_patterns = tgrl_pattern_set(
+    else:
+        patterns = tgrl_pattern_set(
             context.netlist,
             context.compatibility.rare_nets,
             TgrlConfig(
@@ -61,14 +84,41 @@ def run(
                 seed=profile.seed,
             ),
         )
-        results.append(
-            CurveResult(
-                design=design,
-                deterrent_curve=coverage_curve(context.netlist, context.trojans, deterrent_patterns),
-                tgrl_curve=coverage_curve(context.netlist, context.trojans, tgrl_patterns),
-            )
+    return CurveCell(
+        design=params["design"],
+        technique=params["technique"],
+        curve=coverage_curve(context.netlist, context.trojans, patterns),
+    )
+
+
+def collect(results: list[CurveCell]) -> list[CurveResult]:
+    """Merge per-technique curves into one :class:`CurveResult` per design."""
+    curves: dict[str, dict[str, list[tuple[int, float]]]] = {}
+    order: list[str] = []
+    for cell in results:
+        if cell.design not in curves:
+            curves[cell.design] = {}
+            order.append(cell.design)
+        curves[cell.design][cell.technique] = cell.curve
+    return [
+        CurveResult(
+            design=design,
+            deterrent_curve=curves[design].get("DETERRENT", []),
+            tgrl_curve=curves[design].get("TGRL", []),
         )
-    return results
+        for design in order
+    ]
+
+
+def run(
+    designs: tuple[str, ...] = DEFAULT_DESIGNS, profile: ExperimentProfile = QUICK
+) -> list[CurveResult]:
+    """Compute cumulative coverage curves for DETERRENT and TGRL."""
+    from repro.runner.execution import run_experiment
+
+    return run_experiment(
+        "figure6", profile=profile, options={"designs": tuple(designs)}
+    ).collected
 
 
 def report(results: list[CurveResult]) -> str:

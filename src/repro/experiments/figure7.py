@@ -14,8 +14,9 @@ from dataclasses import dataclass
 
 from repro.core.agent import DeterrentAgent
 from repro.core.patterns import generate_patterns
-from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
+from repro.experiments.common import ExperimentProfile, QUICK, as_tuple, prepare_benchmark
 from repro.experiments.reporting import format_table
+from repro.runner.registry import GridCell
 from repro.trojan.evaluation import trigger_coverage
 
 #: Thresholds from the paper's Figure 7.
@@ -32,37 +33,63 @@ class ThresholdPoint:
     test_length: int
 
 
+#: Option keys this harness accepts (validated by the runner).
+OPTIONS = ("design", "thresholds")
+
+
+def cells(profile: ExperimentProfile, options: dict) -> list[GridCell]:
+    """One grid cell per rareness threshold."""
+    design = options.get("design", "c6288_like")
+    thresholds = as_tuple(options.get("thresholds", DEFAULT_THRESHOLDS))
+    return [
+        GridCell(name=f"threshold-{threshold}", params={"design": design,
+                                                        "threshold": threshold})
+        for threshold in thresholds
+    ]
+
+
+def run_cell(params: dict, profile: ExperimentProfile) -> ThresholdPoint | None:
+    """Run DETERRENT at one rareness threshold (None if no Trojans fit)."""
+    threshold = params["threshold"]
+    context = prepare_benchmark(params["design"], profile, threshold=threshold)
+    if not context.trojans:
+        return None
+    agent = DeterrentAgent(
+        context.compatibility,
+        profile.deterrent_config(rareness_threshold=threshold),
+    )
+    agent_result = agent.train()
+    patterns = generate_patterns(
+        context.compatibility,
+        agent_result.largest_sets(profile.k_patterns),
+        technique="DETERRENT",
+    )
+    coverage = trigger_coverage(context.netlist, context.trojans, patterns)
+    return ThresholdPoint(
+        threshold=threshold,
+        num_rare_nets=context.num_rare_nets,
+        coverage_percent=coverage.coverage_percent,
+        test_length=len(patterns),
+    )
+
+
+def collect(results: list[ThresholdPoint | None]) -> list[ThresholdPoint]:
+    """Drop skipped thresholds, keeping sweep order."""
+    return [point for point in results if point is not None]
+
+
 def run(
     design: str = "c6288_like",
     thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
     profile: ExperimentProfile = QUICK,
 ) -> list[ThresholdPoint]:
     """Run DETERRENT at each rareness threshold."""
-    points: list[ThresholdPoint] = []
-    for threshold in thresholds:
-        context = prepare_benchmark(design, profile, threshold=threshold)
-        if not context.trojans:
-            continue
-        agent = DeterrentAgent(
-            context.compatibility,
-            profile.deterrent_config(rareness_threshold=threshold),
-        )
-        agent_result = agent.train()
-        patterns = generate_patterns(
-            context.compatibility,
-            agent_result.largest_sets(profile.k_patterns),
-            technique="DETERRENT",
-        )
-        coverage = trigger_coverage(context.netlist, context.trojans, patterns)
-        points.append(
-            ThresholdPoint(
-                threshold=threshold,
-                num_rare_nets=context.num_rare_nets,
-                coverage_percent=coverage.coverage_percent,
-                test_length=len(patterns),
-            )
-        )
-    return points
+    from repro.runner.execution import run_experiment
+
+    return run_experiment(
+        "figure7", profile=profile,
+        options={"design": design, "thresholds": tuple(thresholds)},
+    ).collected
 
 
 def report(points: list[ThresholdPoint]) -> str:

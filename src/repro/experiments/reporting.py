@@ -1,4 +1,4 @@
-"""Plain-text reporting helpers shared by the experiment harnesses."""
+"""Plain-text and structured-JSON reporting helpers shared by the harnesses."""
 
 from __future__ import annotations
 
@@ -7,10 +7,22 @@ from pathlib import Path
 
 
 def format_table(headers: list[str], rows: list[list[object]]) -> str:
-    """Render a simple fixed-width text table."""
+    """Render a simple fixed-width text table.
+
+    Rows shorter than the header list are padded with empty cells (rendered
+    as ``—``); rows longer than the header list are rejected, since silently
+    dropping trailing cells would misreport results.
+    """
+    num_columns = len(headers)
     columns = [[str(header)] for header in headers]
-    for row in rows:
-        for index, cell in enumerate(row):
+    for row_index, row in enumerate(rows):
+        if len(row) > num_columns:
+            raise ValueError(
+                f"row {row_index} has {len(row)} cells but there are only "
+                f"{num_columns} headers: {row!r}"
+            )
+        padded = list(row) + [None] * (num_columns - len(row))
+        for index, cell in enumerate(padded):
             columns[index].append(_format_cell(cell))
     widths = [max(len(value) for value in column) for column in columns]
     lines = []
@@ -20,7 +32,7 @@ def format_table(headers: list[str], rows: list[list[object]]) -> str:
     for row_index in range(len(rows)):
         lines.append(
             "  ".join(
-                columns[col][row_index + 1].ljust(widths[col]) for col in range(len(headers))
+                columns[col][row_index + 1].ljust(widths[col]) for col in range(num_columns)
             )
         )
     return "\n".join(lines)
@@ -42,9 +54,28 @@ def save_json(data: object, path: str | Path) -> Path:
     return path
 
 
+def append_jsonl(record: object, path: str | Path) -> Path:
+    """Append one JSON line to ``path`` (creating parent directories).
+
+    Used by the experiment runner to stream per-cell results as they
+    complete, so interrupted runs still leave partial structured output.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, default=str) + "\n")
+    return path
+
+
+def load_jsonl(path: str | Path) -> list[dict]:
+    """Read back a JSONL stream written by :func:`append_jsonl`."""
+    lines = Path(path).read_text().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
 def results_dir() -> Path:
     """Default output directory for experiment artefacts."""
     return Path("results")
 
 
-__all__ = ["format_table", "save_json", "results_dir"]
+__all__ = ["format_table", "save_json", "append_jsonl", "load_jsonl", "results_dir"]

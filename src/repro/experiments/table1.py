@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.core.agent import DeterrentAgent
 from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
 from repro.experiments.reporting import format_table
+from repro.runner.registry import GridCell
 
 #: Paper values for Table 1 (MIPS).
 PAPER_TABLE1 = {
@@ -32,26 +33,48 @@ class RewardModeResult:
     reward_checks: int
 
 
+#: Option keys this harness accepts (validated by the runner).
+OPTIONS = ("design",)
+
+
+def cells(profile: ExperimentProfile, options: dict) -> list[GridCell]:
+    """One grid cell per reward-computation mode."""
+    design = options.get("design", "mips16_like")
+    return [
+        GridCell(name=reward_mode, params={"design": design, "reward_mode": reward_mode})
+        for reward_mode in ("per_step", "end_of_episode")
+    ]
+
+
+def run_cell(params: dict, profile: ExperimentProfile) -> RewardModeResult:
+    """Train one agent with one reward mode and collect its metrics."""
+    context = prepare_benchmark(params["design"], profile)
+    config = profile.deterrent_config(reward_mode=params["reward_mode"])
+    agent = DeterrentAgent(context.compatibility, config)
+    agent_result = agent.train()
+    summary = agent_result.summary
+    return RewardModeResult(
+        reward_mode=params["reward_mode"],
+        max_compatible=agent_result.max_compatible_set_size,
+        steps_per_minute=summary.steps_per_minute,
+        episodes_per_minute=summary.episodes_per_minute,
+        reward_checks=agent.total_reward_checks,
+    )
+
+
+def collect(results: list[RewardModeResult]) -> dict[str, RewardModeResult]:
+    """Key the cell results by reward mode."""
+    return {result.reward_mode: result for result in results}
+
+
 def run(
     design: str = "mips16_like",
     profile: ExperimentProfile = QUICK,
 ) -> dict[str, RewardModeResult]:
     """Train one agent per reward mode and collect Table 1's metrics."""
-    context = prepare_benchmark(design, profile)
-    results: dict[str, RewardModeResult] = {}
-    for reward_mode in ("per_step", "end_of_episode"):
-        config = profile.deterrent_config(reward_mode=reward_mode)
-        agent = DeterrentAgent(context.compatibility, config)
-        agent_result = agent.train()
-        summary = agent_result.summary
-        results[reward_mode] = RewardModeResult(
-            reward_mode=reward_mode,
-            max_compatible=agent_result.max_compatible_set_size,
-            steps_per_minute=summary.steps_per_minute,
-            episodes_per_minute=summary.episodes_per_minute,
-            reward_checks=agent.total_reward_checks,
-        )
-    return results
+    from repro.runner.execution import run_experiment
+
+    return run_experiment("table1", profile=profile, options={"design": design}).collected
 
 
 def report(results: dict[str, RewardModeResult]) -> str:

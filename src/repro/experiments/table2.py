@@ -22,13 +22,22 @@ from repro.experiments.common import (
     BenchmarkContext,
     ExperimentProfile,
     PAPER_TABLE2,
+    as_tuple,
     prepare_benchmark,
 )
 from repro.experiments.reporting import format_table
+from repro.runner.registry import GridCell
 from repro.trojan.evaluation import trigger_coverage
 
-#: Benchmarks used by default in the quick profile (one representative per class).
+#: Benchmarks used by default outside the full profile (one per class).
 QUICK_DESIGNS = ("c2670_like", "c6288_like", "s13207_like", "mips16_like")
+
+#: Canonical technique ordering (matches the paper's column order).
+ALL_TECHNIQUES = ("Random", "ATPG", "TARMAC", "TGRL", "DETERRENT")
+
+#: Techniques that must run in the same grid cell: the paper sizes the random
+#: budget to TGRL's test length, so Random depends on TGRL's output.
+TECHNIQUE_GROUPS = (("TGRL", "Random"), ("ATPG",), ("TARMAC",), ("DETERRENT",))
 
 
 @dataclass
@@ -51,21 +60,13 @@ class Table2Row:
     outcomes: dict[str, TechniqueOutcome] = field(default_factory=dict)
 
 
-def run_design(
+def _technique_outcomes(
     context: BenchmarkContext,
-    profile: ExperimentProfile = QUICK,
-    techniques: tuple[str, ...] = ("Random", "ATPG", "TARMAC", "TGRL", "DETERRENT"),
-) -> Table2Row:
-    """Run the requested techniques on one prepared benchmark."""
-    entry = benchmark_entry(context.name)
-    row = Table2Row(
-        design=context.name,
-        paper_design=entry.paper_name,
-        num_rare_nets=context.num_rare_nets,
-        num_gates=context.netlist.num_gates,
-    )
+    profile: ExperimentProfile,
+    techniques: tuple[str, ...],
+) -> dict[str, TechniqueOutcome]:
+    """Build and evaluate the pattern sets of the requested techniques."""
     pattern_sets: dict[str, PatternSet] = {}
-
     if "TGRL" in techniques:
         pattern_sets["TGRL"] = tgrl_pattern_set(
             context.netlist,
@@ -82,7 +83,8 @@ def run_design(
         pattern_sets["Random"] = random_pattern_set(context.netlist, budget, seed=profile.seed)
     if "ATPG" in techniques:
         pattern_sets["ATPG"] = atpg_pattern_set(
-            context.netlist, context.compatibility.rare_nets, justifier=context.compatibility.justifier
+            context.netlist, context.compatibility.rare_nets,
+            justifier=context.compatibility.justifier,
         )
     if "TARMAC" in techniques:
         pattern_sets["TARMAC"] = tarmac_pattern_set(
@@ -97,29 +99,124 @@ def run_design(
             context.compatibility, selected, technique="DETERRENT"
         )
 
+    outcomes: dict[str, TechniqueOutcome] = {}
     for technique, pattern_set in pattern_sets.items():
         coverage = trigger_coverage(context.netlist, context.trojans, pattern_set)
-        row.outcomes[technique] = TechniqueOutcome(
+        outcomes[technique] = TechniqueOutcome(
             technique=technique,
             test_length=len(pattern_set),
             coverage_percent=coverage.coverage_percent,
         )
+    return outcomes
+
+
+def run_design(
+    context: BenchmarkContext,
+    profile: ExperimentProfile = QUICK,
+    techniques: tuple[str, ...] = ALL_TECHNIQUES,
+) -> Table2Row:
+    """Run the requested techniques on one prepared benchmark."""
+    entry = benchmark_entry(context.name)
+    row = Table2Row(
+        design=context.name,
+        paper_design=entry.paper_name,
+        num_rare_nets=context.num_rare_nets,
+        num_gates=context.netlist.num_gates,
+    )
+    row.outcomes = _technique_outcomes(context, profile, techniques)
     return row
+
+
+@dataclass
+class DesignGroupCell:
+    """One technique group evaluated on one design (one grid cell)."""
+
+    design: str
+    num_rare_nets: int
+    num_gates: int
+    outcomes: dict[str, TechniqueOutcome]
+
+
+def default_designs(profile: ExperimentProfile) -> tuple[str, ...]:
+    """The designs Table 2 runs on when none are requested explicitly."""
+    return TABLE2_BENCHMARKS if profile.name == "full" else QUICK_DESIGNS
+
+
+#: Option keys this harness accepts (validated by the runner).
+OPTIONS = ("designs", "techniques")
+
+
+def cells(profile: ExperimentProfile, options: dict) -> list[GridCell]:
+    """One grid cell per (design, technique group)."""
+    designs = as_tuple(options.get("designs") or default_designs(profile))
+    techniques = as_tuple(options.get("techniques", ALL_TECHNIQUES))
+    grid: list[GridCell] = []
+    for design in designs:
+        for group in TECHNIQUE_GROUPS:
+            members = tuple(t for t in group if t in techniques)
+            if not members:
+                continue
+            grid.append(
+                GridCell(
+                    name=f"{design}-{'+'.join(members)}",
+                    params={"design": design, "techniques": members},
+                )
+            )
+    return grid
+
+
+def run_cell(params: dict, profile: ExperimentProfile) -> DesignGroupCell:
+    """Evaluate one technique group on one design."""
+    context = prepare_benchmark(params["design"], profile)
+    return DesignGroupCell(
+        design=params["design"],
+        num_rare_nets=context.num_rare_nets,
+        num_gates=context.netlist.num_gates,
+        outcomes=_technique_outcomes(context, profile, tuple(params["techniques"])),
+    )
+
+
+def collect(results: list[DesignGroupCell]) -> list[Table2Row]:
+    """Merge the group cells into one row per design (canonical column order)."""
+    merged: dict[str, DesignGroupCell] = {}
+    outcomes: dict[str, dict[str, TechniqueOutcome]] = {}
+    order: list[str] = []
+    for cell in results:
+        if cell.design not in merged:
+            merged[cell.design] = cell
+            outcomes[cell.design] = {}
+            order.append(cell.design)
+        outcomes[cell.design].update(cell.outcomes)
+    rows: list[Table2Row] = []
+    for design in order:
+        entry = benchmark_entry(design)
+        row = Table2Row(
+            design=design,
+            paper_design=entry.paper_name,
+            num_rare_nets=merged[design].num_rare_nets,
+            num_gates=merged[design].num_gates,
+        )
+        row.outcomes = {
+            technique: outcomes[design][technique]
+            for technique in ALL_TECHNIQUES
+            if technique in outcomes[design]
+        }
+        rows.append(row)
+    return rows
 
 
 def run(
     designs: tuple[str, ...] | None = None,
     profile: ExperimentProfile = QUICK,
-    techniques: tuple[str, ...] = ("Random", "ATPG", "TARMAC", "TGRL", "DETERRENT"),
+    techniques: tuple[str, ...] = ALL_TECHNIQUES,
 ) -> list[Table2Row]:
     """Run the Table 2 comparison over the requested designs."""
-    if designs is None:
-        designs = QUICK_DESIGNS if profile.name == "quick" else TABLE2_BENCHMARKS
-    rows = []
-    for design in designs:
-        context = prepare_benchmark(design, profile)
-        rows.append(run_design(context, profile, techniques))
-    return rows
+    from repro.runner.execution import run_experiment
+
+    options = {"techniques": tuple(techniques)}
+    if designs is not None:
+        options["designs"] = tuple(designs)
+    return run_experiment("table2", profile=profile, options=options).collected
 
 
 def report(rows: list[Table2Row]) -> str:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.core.agent import DeterrentAgent
 from repro.core.patterns import generate_patterns
 from repro.experiments.common import ExperimentProfile, QUICK, prepare_benchmark
+from repro.runner.registry import GridCell
 from repro.trojan.evaluation import trigger_coverage
 
 
@@ -30,6 +31,33 @@ class TransferResult:
     coverage_percent: float
 
 
+#: Option keys this harness accepts (validated by the runner).
+OPTIONS = ("design", "train_threshold", "eval_threshold")
+
+
+def cells(profile: ExperimentProfile, options: dict) -> list[GridCell]:
+    """A single grid cell: the train→evaluate threshold pair."""
+    params = {
+        "design": options.get("design", "c6288_like"),
+        "train_threshold": options.get("train_threshold", 0.14),
+        "eval_threshold": options.get("eval_threshold", 0.10),
+    }
+    return [GridCell(name=f"{params['train_threshold']}-to-{params['eval_threshold']}",
+                     params=params)]
+
+
+def run_cell(params: dict, profile: ExperimentProfile) -> TransferResult:
+    """Train at one threshold; evaluate on Trojans from the other."""
+    return _run_transfer(
+        params["design"], params["train_threshold"], params["eval_threshold"], profile
+    )
+
+
+def collect(results: list[TransferResult]) -> TransferResult:
+    """The single cell result."""
+    return results[0]
+
+
 def run(
     design: str = "c6288_like",
     train_threshold: float = 0.14,
@@ -37,6 +65,25 @@ def run(
     profile: ExperimentProfile = QUICK,
 ) -> TransferResult:
     """Train at ``train_threshold``; evaluate on Trojans from ``eval_threshold``."""
+    from repro.runner.execution import run_experiment
+
+    return run_experiment(
+        "transfer",
+        profile=profile,
+        options={
+            "design": design,
+            "train_threshold": train_threshold,
+            "eval_threshold": eval_threshold,
+        },
+    ).collected
+
+
+def _run_transfer(
+    design: str,
+    train_threshold: float,
+    eval_threshold: float,
+    profile: ExperimentProfile,
+) -> TransferResult:
     train_context = prepare_benchmark(design, profile, threshold=train_threshold)
     eval_context = prepare_benchmark(design, profile, threshold=eval_threshold)
 

@@ -1,0 +1,53 @@
+"""Experiment orchestration: sharded solvers, artifact cache, registry, runner.
+
+This package is the orchestration layer the DETERRENT paper implies but the
+per-harness scripts used to re-implement ad hoc:
+
+- :mod:`repro.runner.parallel` — process-sharded pairwise-compatibility
+  computation (the paper's 64-process offline phase, §3.3), with a serial
+  fallback that is bit-identical to the sharded path.
+- :mod:`repro.runner.cache` — content-addressed on-disk artifact cache for
+  rare nets, compatibility analyses, and Trojan populations, keyed by netlist
+  fingerprint + configuration fingerprint.
+- :mod:`repro.runner.registry` — declarative specs for every experiment
+  harness (name, module, grid cells).
+- :mod:`repro.runner.execution` — the runner that executes grid cells
+  serially or across worker processes and streams structured JSON results.
+"""
+
+from repro.runner.cache import (
+    ArtifactCache,
+    config_fingerprint,
+    get_default_cache,
+    netlist_fingerprint,
+    set_default_cache,
+)
+from repro.runner.execution import CellOutcome, ExperimentRun, ExperimentRunner, run_experiment
+from repro.runner.parallel import (
+    CompatibilityShard,
+    make_shards,
+    parallel_compatibility_matrix,
+    resolve_jobs,
+    serial_compatibility_matrix,
+)
+from repro.runner.registry import ExperimentSpec, all_experiments, get_experiment
+
+__all__ = [
+    "ArtifactCache",
+    "config_fingerprint",
+    "get_default_cache",
+    "netlist_fingerprint",
+    "set_default_cache",
+    "CompatibilityShard",
+    "make_shards",
+    "parallel_compatibility_matrix",
+    "resolve_jobs",
+    "serial_compatibility_matrix",
+    "ExperimentSpec",
+    "all_experiments",
+    "get_experiment",
+    "CellOutcome",
+    "ExperimentRun",
+    "ExperimentRunner",
+    "run_experiment",
+]

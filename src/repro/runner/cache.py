@@ -1,0 +1,238 @@
+"""Content-addressed on-disk cache for offline-phase artifacts.
+
+The DETERRENT offline phase (rare-net extraction, pairwise compatibility,
+Trojan-population sampling) is identical across every experiment harness that
+targets the same (netlist, configuration) pair, and it dominates wall-time for
+the larger circuits.  The cache stores each artifact under a key derived from
+
+- a **netlist fingerprint** — SHA-256 of the canonical ``.bench``
+  serialisation (topological gate order), so structurally identical circuits
+  share entries regardless of how they were built, and
+- a **configuration fingerprint** — SHA-256 of the canonical JSON encoding of
+  the parameters that influenced the artifact (threshold, pattern count,
+  seed, trigger width, ...).
+
+Loads are corruption tolerant: any failure to read or unpickle an entry is
+treated as a miss (the offending file is removed) and the artifact is simply
+recomputed.  Stores are atomic (write to a temp file, then ``os.replace``) so
+concurrent worker processes sharing one cache directory never observe partial
+writes.
+
+The module-level *default cache* is what :func:`repro.experiments.common.
+prepare_benchmark` and the experiment runner consult when no explicit cache is
+passed; it is configured with :func:`set_default_cache`, the
+``DETERRENT_CACHE_DIR`` environment variable, or the CLI's ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field, is_dataclass, asdict
+from pathlib import Path
+from typing import Any
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX platform: single-flight degrades to none
+    fcntl = None
+
+from repro.circuits.bench_io import dumps_bench
+from repro.circuits.netlist import Netlist
+
+#: Environment variable that enables the default cache when set.
+CACHE_DIR_ENV = "DETERRENT_CACHE_DIR"
+
+_FINGERPRINT_MEMO_KEY = "runner.cache.netlist_fingerprint"
+
+
+def netlist_fingerprint(netlist: Netlist) -> str:
+    """SHA-256 fingerprint of a netlist's canonical ``.bench`` serialisation.
+
+    The serialisation lists gates in topological order, so the fingerprint is
+    stable across construction order and process boundaries.  The value is
+    memoised on the netlist and invalidated automatically on mutation.
+    """
+    return netlist.memo(
+        _FINGERPRINT_MEMO_KEY,
+        lambda: hashlib.sha256(dumps_bench(netlist).encode()).hexdigest(),
+    )
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to JSON-encodable primitives with a stable form."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {"__dataclass__": type(value).__name__, **_canonical(asdict(value))}
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Netlist):
+        return {"__netlist__": netlist_fingerprint(value)}
+    return repr(value)
+
+
+def config_fingerprint(**key_parts: Any) -> str:
+    """SHA-256 fingerprint of an arbitrary configuration mapping.
+
+    Keys are sorted and values reduced to canonical JSON, so logically equal
+    configurations fingerprint identically across processes and sessions.
+    """
+    payload = json.dumps(_canonical(key_parts), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (used by structured reporting)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+
+@dataclass
+class ArtifactCache:
+    """Pickle-based content-addressed store under one root directory.
+
+    Layout: ``<root>/<kind>/<config-digest>.pkl`` where *kind* names the
+    artifact family (``rare_nets``, ``compatibility``, ``trojans``, ...) and
+    the digest comes from :func:`config_fingerprint` over the caller's key
+    parts (which should include the netlist fingerprint).
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def path_for(self, kind: str, **key_parts: Any) -> Path:
+        """Path of the entry for ``kind`` + key parts (whether or not it exists)."""
+        return self.root / kind / f"{config_fingerprint(**key_parts)}.pkl"
+
+    def load(self, kind: str, **key_parts: Any) -> Any | None:
+        """Return the stored artifact, or None on miss or corrupt entry."""
+        path = self.path_for(kind, **key_parts)
+        try:
+            with path.open("rb") as handle:
+                artifact = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Truncated/garbled entry (e.g. a crashed writer predating atomic
+            # stores, or bit rot): drop it and recompute.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return artifact
+
+    def store(self, kind: str, artifact: Any, **key_parts: Any) -> Path:
+        """Atomically persist ``artifact`` and return its path."""
+        path = self.path_for(kind, **key_parts)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def fetch(self, kind: str, builder, **key_parts: Any) -> Any:
+        """Load the artifact or build + store it via ``builder()``.
+
+        Builds are single-flight across processes: concurrent workers that
+        miss on the same key serialise on an advisory file lock, so the first
+        one computes and the rest load its result instead of duplicating the
+        work (the offline phase is the most expensive artifact in the store).
+        """
+        artifact = self.load(kind, **key_parts)
+        if artifact is not None:
+            return artifact
+        path = self.path_for(kind, **key_parts)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with _build_lock(path):
+            # Double-checked: a peer holding the lock may have stored it.
+            artifact = self.load(kind, **key_parts)
+            if artifact is None:
+                artifact = builder()
+                self.store(kind, artifact, **key_parts)
+        return artifact
+
+
+@contextmanager
+def _build_lock(artifact_path: Path):
+    """Advisory cross-process lock guarding one artifact's build."""
+    if fcntl is None:
+        yield
+        return
+    lock_path = artifact_path.with_suffix(".lock")
+    with lock_path.open("w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+_default_cache: ArtifactCache | None = None
+_default_resolved = False
+
+
+def set_default_cache(cache: ArtifactCache | str | Path | None) -> ArtifactCache | None:
+    """Install the process-wide default cache (None disables caching)."""
+    global _default_cache, _default_resolved
+    if cache is not None and not isinstance(cache, ArtifactCache):
+        cache = ArtifactCache(Path(cache))
+    _default_cache = cache
+    _default_resolved = True
+    return _default_cache
+
+
+def get_default_cache() -> ArtifactCache | None:
+    """The default cache: explicitly set, else from ``DETERRENT_CACHE_DIR``."""
+    global _default_resolved
+    if not _default_resolved:
+        directory = os.environ.get(CACHE_DIR_ENV)
+        set_default_cache(directory if directory else None)
+    return _default_cache
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "ArtifactCache",
+    "CacheStats",
+    "config_fingerprint",
+    "get_default_cache",
+    "netlist_fingerprint",
+    "set_default_cache",
+]

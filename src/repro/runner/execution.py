@@ -1,0 +1,286 @@
+"""The experiment runner: executes registry grid cells, serially or sharded.
+
+``ExperimentRunner.run("figure5")`` asks the experiment's module for its grid
+cells, executes each cell either in-process (``jobs=1``, sharing the
+in-memory benchmark-context cache) or across a ``ProcessPoolExecutor``
+(``jobs>1``, sharing work through the on-disk artifact cache), streams one
+structured JSON record per completed cell through
+:mod:`repro.experiments.reporting`, and hands the ordered cell results to the
+module's ``collect``/``report`` hooks.
+
+This replaces the per-harness orchestration loops: a harness only declares
+*what* its cells are and how to run one; scheduling, parallelism, caching,
+and result persistence live here.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, is_dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.runner.cache import get_default_cache, set_default_cache
+from repro.runner.parallel import resolve_jobs
+from repro.runner.registry import ExperimentSpec, GridCell, get_experiment
+
+
+@dataclass
+class CellOutcome:
+    """One executed grid cell: its identity, result, and wall-time."""
+
+    name: str
+    params: dict[str, Any]
+    result: Any
+    elapsed: float
+
+
+@dataclass
+class ExperimentRun:
+    """Everything produced by one runner invocation."""
+
+    experiment: str
+    profile: str
+    jobs: int
+    options: dict[str, Any]
+    outcomes: list[CellOutcome]
+    collected: Any
+    report_text: str
+    elapsed: float
+    cache_stats: dict[str, int] | None = None
+    results_path: Path | None = None
+
+    def record(self) -> dict[str, Any]:
+        """JSON-ready summary of the whole run (cells + rendered report)."""
+        return {
+            "experiment": self.experiment,
+            "profile": self.profile,
+            "jobs": self.jobs,
+            "options": _jsonable(self.options),
+            "elapsed_seconds": round(self.elapsed, 3),
+            "cache_stats": self.cache_stats,
+            "cells": [
+                {
+                    "cell": outcome.name,
+                    "params": _jsonable(outcome.params),
+                    "elapsed_seconds": round(outcome.elapsed, 3),
+                    "result": _jsonable(outcome.result),
+                }
+                for outcome in self.outcomes
+            ],
+            "report": self.report_text,
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    """Reduce harness results (dataclasses, tuples, sets) to JSON types."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(item) for item in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item") and callable(value.item):  # numpy scalars
+        try:
+            return value.item()
+        except Exception:
+            pass
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Worker-process entry points (module level: must be picklable by name)
+# ----------------------------------------------------------------------
+def _init_cell_worker(search_paths: list[str], cache_dir: str | None) -> None:
+    """Replay the parent's import path and cache configuration in a worker."""
+    for path in search_paths:
+        if path not in sys.path:
+            sys.path.append(path)
+    if cache_dir is not None:
+        from repro.runner.cache import set_default_cache as _set
+
+        _set(cache_dir)
+
+
+def _execute_cell(
+    module_name: str, cell: GridCell, profile
+) -> tuple[Any, float, dict[str, int] | None]:
+    """Run one grid cell; return (result, elapsed, cache-stats delta).
+
+    The stats delta is measured against this process's default cache, so
+    worker processes report their own hit/miss contributions back to the
+    parent for aggregation.
+    """
+    module = importlib.import_module(module_name)
+    cache = get_default_cache()
+    before = cache.stats.as_dict() if cache is not None else None
+    started = time.perf_counter()
+    result = module.run_cell(cell.params, profile)
+    elapsed = time.perf_counter() - started
+    delta = None
+    if cache is not None and before is not None:
+        after = cache.stats.as_dict()
+        delta = {key: after[key] - before[key] for key in after}
+    return result, elapsed, delta
+
+
+class ExperimentRunner:
+    """Executes registered experiments over a worker pool.
+
+    Args:
+        jobs: worker processes for grid cells (1 = in-process serial;
+            <= 0 = one per CPU).
+        cache_dir: artifact-cache directory installed as the process-wide
+            default for this run and for every worker (None keeps the
+            ambient default, e.g. from ``DETERRENT_CACHE_DIR``).
+        results_dir: when set, the runner streams one JSON line per completed
+            cell to ``<results_dir>/<experiment>-<profile>.jsonl`` and writes
+            the full run record to ``<experiment>-<profile>.json``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        results_dir: str | Path | None = None,
+    ) -> None:
+        self.jobs = 1 if jobs == 1 else resolve_jobs(jobs)
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.results_dir = Path(results_dir) if results_dir is not None else None
+        if self.cache_dir is not None:
+            set_default_cache(self.cache_dir)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        experiment: str | ExperimentSpec,
+        profile="quick",
+        options: dict[str, Any] | None = None,
+    ) -> ExperimentRun:
+        """Execute every grid cell of ``experiment`` and collect the results."""
+        from repro.experiments.common import profile_by_name
+
+        spec = experiment if isinstance(experiment, ExperimentSpec) else get_experiment(experiment)
+        if isinstance(profile, str):
+            profile = profile_by_name(profile)
+        options = dict(options or {})
+        module = spec.resolve()
+        allowed = getattr(module, "OPTIONS", None)
+        if allowed is not None:
+            unknown = sorted(set(options) - set(allowed))
+            if unknown:
+                raise ValueError(
+                    f"unknown option(s) for {spec.name!r}: {', '.join(unknown)}; "
+                    f"supported: {', '.join(sorted(allowed))}"
+                )
+        cells = spec.build_cells(profile, options)
+        if not cells:
+            raise ValueError(f"experiment {spec.name!r} produced no grid cells")
+
+        stream_path = None
+        if self.results_dir is not None:
+            stream_path = self.results_dir / f"{spec.name}-{profile.name}.jsonl"
+            stream_path.unlink(missing_ok=True)
+
+        started = time.perf_counter()
+        outcomes: list[CellOutcome] = []
+        cache_stats: dict[str, int] | None = None
+
+        def _absorb(cell: GridCell, payload: tuple[Any, float, dict[str, int] | None]) -> None:
+            nonlocal cache_stats
+            result, elapsed, stats_delta = payload
+            if stats_delta is not None:
+                if cache_stats is None:
+                    cache_stats = dict.fromkeys(stats_delta, 0)
+                for key, value in stats_delta.items():
+                    cache_stats[key] += value
+            outcomes.append(self._record_cell(spec, profile, cell, result, elapsed, stream_path))
+
+        if self.jobs == 1:
+            for cell in cells:
+                _absorb(cell, _execute_cell(spec.module, cell, profile))
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(cells)),
+                initializer=_init_cell_worker,
+                initargs=(list(sys.path), self.cache_dir),
+            ) as pool:
+                futures = [
+                    pool.submit(_execute_cell, spec.module, cell, profile) for cell in cells
+                ]
+                for cell, future in zip(cells, futures):
+                    _absorb(cell, future.result())
+
+        collected = module.collect([outcome.result for outcome in outcomes])
+        report_text = module.report(collected)
+        elapsed = time.perf_counter() - started
+
+        run = ExperimentRun(
+            experiment=spec.name,
+            profile=profile.name,
+            jobs=self.jobs,
+            options=options,
+            outcomes=outcomes,
+            collected=collected,
+            report_text=report_text,
+            elapsed=elapsed,
+            cache_stats=cache_stats,
+        )
+        if self.results_dir is not None:
+            from repro.experiments.reporting import save_json
+
+            run.results_path = save_json(
+                run.record(), self.results_dir / f"{spec.name}-{profile.name}.json"
+            )
+        return run
+
+    # ------------------------------------------------------------------
+    def _record_cell(
+        self,
+        spec: ExperimentSpec,
+        profile,
+        cell: GridCell,
+        result: Any,
+        elapsed: float,
+        stream_path: Path | None,
+    ) -> CellOutcome:
+        outcome = CellOutcome(name=cell.name, params=dict(cell.params), result=result,
+                              elapsed=elapsed)
+        if stream_path is not None:
+            from repro.experiments.reporting import append_jsonl
+
+            append_jsonl(
+                {
+                    "experiment": spec.name,
+                    "profile": profile.name,
+                    "cell": outcome.name,
+                    "params": _jsonable(outcome.params),
+                    "elapsed_seconds": round(outcome.elapsed, 3),
+                    "result": _jsonable(outcome.result),
+                },
+                stream_path,
+            )
+        return outcome
+
+
+def run_experiment(
+    experiment: str | ExperimentSpec,
+    profile="quick",
+    jobs: int = 1,
+    options: dict[str, Any] | None = None,
+    cache_dir: str | Path | None = None,
+    results_dir: str | Path | None = None,
+) -> ExperimentRun:
+    """One-shot convenience wrapper around :class:`ExperimentRunner`."""
+    runner = ExperimentRunner(jobs=jobs, cache_dir=cache_dir, results_dir=results_dir)
+    return runner.run(experiment, profile=profile, options=options)
+
+
+__all__ = ["CellOutcome", "ExperimentRun", "ExperimentRunner", "run_experiment"]

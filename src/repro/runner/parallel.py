@@ -1,0 +1,180 @@
+"""Process-sharded pairwise-compatibility computation (paper §3.3).
+
+DETERRENT precomputes the O(r²) rare-net compatibility dictionary before
+training and parallelises it over 64 processes.  This module reproduces that
+shape: the upper triangle of the pair matrix is split into deterministic
+shards, each worker process owns its **own** incremental SAT stack
+(:class:`~repro.sat.justify.Justifier` over a private
+:class:`~repro.sat.solver.CdclSolver`) built from the shared circuit
+encoding, and the parent assembles the boolean matrix from the shard results.
+
+Two properties matter:
+
+- **Bit-identity** — every pair query is an exact SAT verdict, so the sharded
+  matrix equals the serial one bit for bit regardless of shard count or
+  completion order (:func:`serial_compatibility_matrix` is the ``n_jobs=1``
+  fallback and the reference).
+- **Determinism** — shard→pair assignment is a pure function of (pair count,
+  shard count), and each shard receives a seed derived only from
+  ``(base_seed, shard index)``, so any future randomised solver heuristic
+  stays reproducible under resharding of the same ``n_shards``.
+
+Netlists travel to workers as canonical ``.bench`` text (compact, and avoids
+pickling memoised derived structures); each worker re-encodes the CNF once in
+its initializer and answers all its shards incrementally.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.bench_io import dumps_bench, loads_bench
+from repro.circuits.netlist import Netlist
+from repro.sat.justify import Justifier
+
+#: Shards submitted per worker; >1 smooths load imbalance between shards.
+OVERSUBSCRIPTION = 4
+
+
+def resolve_jobs(n_jobs: int | None) -> int:
+    """Normalise a job-count request: None or <= 0 means "all CPUs"."""
+    if n_jobs is None or n_jobs <= 0:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+@dataclass(frozen=True)
+class CompatibilityShard:
+    """One worker-sized slice of the pairwise-compatibility upper triangle.
+
+    ``seed`` is assigned deterministically from ``(base_seed, index)``.  The
+    current solver is deterministic, so the seed does not influence results —
+    it exists so a future randomised heuristic (restarts, phase flipping)
+    keeps the shard→seed mapping reproducible.
+    """
+
+    index: int
+    seed: int
+    pairs: tuple[tuple[int, int], ...]
+
+
+def make_shards(num_items: int, n_shards: int, base_seed: int = 0) -> list[CompatibilityShard]:
+    """Split the upper-triangle pairs of ``num_items`` items into shards.
+
+    Pairs are enumerated in row-major order and dealt round-robin, so early
+    (long) rows and late (short) rows mix within every shard — cheap static
+    load balancing with a fully deterministic assignment.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    buckets: list[list[tuple[int, int]]] = [[] for _ in range(n_shards)]
+    position = 0
+    for i in range(num_items):
+        for j in range(i + 1, num_items):
+            buckets[position % n_shards].append((i, j))
+            position += 1
+    return [
+        CompatibilityShard(index=index, seed=base_seed + 7919 * index, pairs=tuple(bucket))
+        for index, bucket in enumerate(buckets)
+        if bucket
+    ]
+
+
+Requirement = tuple[str, int]
+
+
+def serial_compatibility_matrix(
+    justifier: Justifier, requirements: list[Requirement]
+) -> np.ndarray:
+    """Reference single-solver pairwise matrix (the ``n_jobs=1`` path)."""
+    count = len(requirements)
+    matrix = np.zeros((count, count), dtype=bool)
+    np.fill_diagonal(matrix, True)
+    for i in range(count):
+        net_i, value_i = requirements[i]
+        for j in range(i + 1, count):
+            net_j, value_j = requirements[j]
+            compatible = justifier.are_compatible({net_i: value_i}, {net_j: value_j})
+            matrix[i, j] = compatible
+            matrix[j, i] = compatible
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Worker-process state
+# ----------------------------------------------------------------------
+_WORKER_JUSTIFIER: Justifier | None = None
+_WORKER_REQUIREMENTS: list[Requirement] = []
+
+
+def _init_compat_worker(
+    search_paths: list[str], bench_text: str, name: str, requirements: list[Requirement]
+) -> None:
+    """Build this worker's private solver stack over the shared encoding.
+
+    ``search_paths`` replays the parent's ``sys.path`` so spawned workers can
+    import ``repro`` from a fresh checkout that was never pip-installed.
+    """
+    global _WORKER_JUSTIFIER, _WORKER_REQUIREMENTS
+    for path in search_paths:
+        if path not in sys.path:
+            sys.path.append(path)
+    _WORKER_JUSTIFIER = Justifier(loads_bench(bench_text, name=name))
+    _WORKER_REQUIREMENTS = requirements
+
+
+def _run_shard(shard: CompatibilityShard) -> list[tuple[int, int, bool]]:
+    """Answer every pair query of one shard on the worker's own solver."""
+    assert _WORKER_JUSTIFIER is not None, "worker initializer did not run"
+    results: list[tuple[int, int, bool]] = []
+    for i, j in shard.pairs:
+        net_i, value_i = _WORKER_REQUIREMENTS[i]
+        net_j, value_j = _WORKER_REQUIREMENTS[j]
+        compatible = _WORKER_JUSTIFIER.are_compatible({net_i: value_i}, {net_j: value_j})
+        results.append((i, j, compatible))
+    return results
+
+
+def parallel_compatibility_matrix(
+    netlist: Netlist,
+    requirements: list[Requirement],
+    n_jobs: int,
+    base_seed: int = 0,
+) -> np.ndarray:
+    """Compute the pairwise matrix across ``n_jobs`` worker processes.
+
+    Bit-identical to :func:`serial_compatibility_matrix` on the same inputs.
+    """
+    n_jobs = resolve_jobs(n_jobs)
+    count = len(requirements)
+    matrix = np.zeros((count, count), dtype=bool)
+    np.fill_diagonal(matrix, True)
+    if count < 2:
+        return matrix
+    shards = make_shards(count, n_jobs * OVERSUBSCRIPTION, base_seed=base_seed)
+    bench_text = dumps_bench(netlist)
+    with ProcessPoolExecutor(
+        max_workers=min(n_jobs, len(shards)),
+        initializer=_init_compat_worker,
+        initargs=(list(sys.path), bench_text, netlist.name, list(requirements)),
+    ) as pool:
+        for shard_result in pool.map(_run_shard, shards):
+            for i, j, compatible in shard_result:
+                matrix[i, j] = compatible
+                matrix[j, i] = compatible
+    return matrix
+
+
+__all__ = [
+    "OVERSUBSCRIPTION",
+    "CompatibilityShard",
+    "make_shards",
+    "parallel_compatibility_matrix",
+    "resolve_jobs",
+    "serial_compatibility_matrix",
+]

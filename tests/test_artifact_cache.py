@@ -1,0 +1,157 @@
+"""Tests for the on-disk artifact cache and the sharded compatibility path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import generators
+from repro.circuits.library import load_benchmark
+from repro.core.compatibility import compute_compatibility
+from repro.experiments import common
+from repro.runner.cache import (
+    ArtifactCache,
+    config_fingerprint,
+    netlist_fingerprint,
+    set_default_cache,
+)
+from repro.simulation.rare_nets import extract_rare_nets
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_cache():
+    yield
+    set_default_cache(None)
+
+
+@pytest.fixture(scope="module")
+def c2670():
+    """The c2670 analogue — smallest Table 2 library circuit."""
+    return load_benchmark("c2670_like")
+
+
+@pytest.fixture(scope="module")
+def c2670_rare(c2670):
+    return extract_rare_nets(c2670, threshold=0.1, num_patterns=1024, seed=0)
+
+
+class TestFingerprints:
+    def test_netlist_fingerprint_stable_across_copies(self, c2670):
+        assert netlist_fingerprint(c2670) == netlist_fingerprint(c2670.copy())
+
+    def test_netlist_fingerprint_distinguishes_structure(self, c2670):
+        other = generators.c17()
+        assert netlist_fingerprint(c2670) != netlist_fingerprint(other)
+
+    def test_config_fingerprint_order_independent(self):
+        assert config_fingerprint(a=1, b=2.5) == config_fingerprint(b=2.5, a=1)
+
+    def test_config_fingerprint_sensitive_to_values(self):
+        assert config_fingerprint(threshold=0.1) != config_fingerprint(threshold=0.2)
+
+    def test_config_fingerprint_handles_nested_structures(self):
+        digest = config_fingerprint(rare=[("n1", 0), ("n2", 1)], nested={"x": [1, 2]})
+        assert len(digest) == 64
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.load("rare_nets", key=1) is None
+        cache.store("rare_nets", ["payload"], key=1)
+        assert cache.load("rare_nets", key=1) == ["payload"]
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_miss_on_config_change(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("rare_nets", "a", netlist="fp", threshold=0.1)
+        assert cache.load("rare_nets", netlist="fp", threshold=0.1) == "a"
+        assert cache.load("rare_nets", netlist="fp", threshold=0.12) is None
+        assert cache.load("rare_nets", netlist="other", threshold=0.1) is None
+
+    def test_corrupt_entry_falls_back_to_recompute(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.store("trojans", [1, 2, 3], key="x")
+        path.write_bytes(b"\x80garbage not a pickle")
+        assert cache.load("trojans", key="x") is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # the broken entry was dropped
+        # fetch() rebuilds and re-stores.
+        assert cache.fetch("trojans", lambda: [4, 5], key="x") == [4, 5]
+        assert cache.load("trojans", key="x") == [4, 5]
+
+    def test_fetch_builds_once(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"x": 1}
+
+        assert cache.fetch("kind", build, k=1) == {"x": 1}
+        assert cache.fetch("kind", build, k=1) == {"x": 1}
+        assert len(calls) == 1
+
+
+class TestPrepareBenchmarkDiskCache:
+    def test_rerun_hits_disk_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        common.clear_context_cache()
+        first = common.prepare_benchmark("c6288_like", common.TINY, threshold=0.15,
+                                         cache=cache)
+        assert cache.stats.stores == 3  # rare nets + compatibility + trojans
+        common.clear_context_cache()
+        second = common.prepare_benchmark("c6288_like", common.TINY, threshold=0.15,
+                                          cache=cache)
+        assert cache.stats.hits == 3
+        assert second.rare_nets == first.rare_nets
+        assert np.array_equal(second.compatibility.matrix, first.compatibility.matrix)
+        assert second.trojans == first.trojans
+        common.clear_context_cache()
+
+
+    def test_memoised_context_writes_through_to_new_cache(self, tmp_path):
+        # A context memoised before any disk cache existed must still reach
+        # the disk when a cache is configured later (worker warm-up path).
+        common.clear_context_cache()
+        common.prepare_benchmark("c6288_like", common.TINY, threshold=0.15, cache=None)
+        cache = ArtifactCache(tmp_path)
+        context = common.prepare_benchmark("c6288_like", common.TINY, threshold=0.15,
+                                           cache=cache)
+        assert cache.stats.stores == 3
+        common.clear_context_cache()
+        rehydrated = common.prepare_benchmark("c6288_like", common.TINY, threshold=0.15,
+                                              cache=cache)
+        assert cache.stats.hits == 3
+        assert np.array_equal(rehydrated.compatibility.matrix,
+                              context.compatibility.matrix)
+        assert rehydrated.trojans == context.trojans
+        common.clear_context_cache()
+
+
+class TestCompatibilityParity:
+    def test_serial_and_sharded_matrices_identical(self, c2670, c2670_rare):
+        serial = compute_compatibility(c2670, c2670_rare, n_jobs=1, cache=None)
+        sharded = compute_compatibility(c2670, c2670_rare, n_jobs=2, cache=None)
+        assert serial.rare_nets == sharded.rare_nets
+        assert serial.unsatisfiable == sharded.unsatisfiable
+        assert np.array_equal(serial.matrix, sharded.matrix)
+        assert serial.matrix.dtype == sharded.matrix.dtype == np.bool_
+
+    def test_compatibility_cache_roundtrip(self, tmp_path, c2670, c2670_rare):
+        cache = ArtifactCache(tmp_path)
+        first = compute_compatibility(c2670, c2670_rare, n_jobs=1, cache=cache)
+        again = compute_compatibility(c2670, c2670_rare, n_jobs=1, cache=cache)
+        assert cache.stats.hits == 1
+        assert np.array_equal(first.matrix, again.matrix)
+        assert again.rare_nets == first.rare_nets
+        # The rebuilt analysis still has a working solver stack.
+        assert again.set_is_satisfiable([0])
+
+    def test_n_workers_alias(self, small_multiplier, multiplier_rare_nets):
+        serial = compute_compatibility(
+            small_multiplier, multiplier_rare_nets, n_workers=1, cache=None
+        )
+        assert serial.num_rare_nets > 0

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import common
-from repro.experiments.reporting import format_table, save_json
+from repro.experiments.reporting import append_jsonl, format_table, load_jsonl, save_json
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.timing import Stopwatch
 
@@ -64,14 +64,40 @@ class TestReporting:
         assert "2.50" in text
         assert "—" in text
 
+    def test_format_table_pads_ragged_rows(self):
+        # Regression: rows shorter than the header list used to raise
+        # IndexError; they must render with em-dash padding instead.
+        text = format_table(["a", "b", "c"], [[1], [1, 2], [1, 2, 3]])
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert lines[2].split() == ["1", "—", "—"]
+        assert lines[3].split() == ["1", "2", "—"]
+        assert lines[4].split() == ["1", "2", "3"]
+
+    def test_format_table_rejects_overlong_rows(self):
+        with pytest.raises(ValueError, match="row 1 has 3 cells"):
+            format_table(["a", "b"], [[1, 2], [1, 2, 3]])
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert len(text.splitlines()) == 2
+
     def test_save_json_creates_directories(self, tmp_path):
         path = save_json({"x": 1}, tmp_path / "nested" / "out.json")
         assert path.exists()
         assert "\"x\": 1" in path.read_text()
 
+    def test_append_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "stream" / "cells.jsonl"
+        append_jsonl({"cell": "a", "value": 1}, path)
+        append_jsonl({"cell": "b", "value": 2}, path)
+        records = load_jsonl(path)
+        assert [record["cell"] for record in records] == ["a", "b"]
+
 
 class TestCommon:
     def test_profiles_lookup(self):
+        assert common.profile_by_name("tiny") is common.TINY
         assert common.profile_by_name("quick") is common.QUICK
         assert common.profile_by_name("full") is common.FULL
         with pytest.raises(KeyError):

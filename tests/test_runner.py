@@ -1,0 +1,198 @@
+"""Tests for the experiment registry, runner, sharding helpers, and CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import common
+from repro.runner.execution import ExperimentRunner, run_experiment
+from repro.runner.parallel import make_shards, resolve_jobs
+from repro.runner.registry import (
+    ExperimentSpec,
+    GridCell,
+    all_experiments,
+    get_experiment,
+    register,
+)
+
+#: Deliberately tiny profile so the runner tests finish in seconds.
+TINY = common.TINY
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_cache():
+    """Keep the process-wide default cache from leaking between tests."""
+    from repro.runner.cache import set_default_cache
+
+    yield
+    set_default_cache(None)
+
+
+class TestRegistry:
+    def test_all_ten_harnesses_registered(self):
+        names = {spec.name for spec in all_experiments()}
+        assert names == {
+            "figure2", "figure3", "figure5", "figure6", "figure7",
+            "table1", "table2", "transfer", "ablations", "pipeline",
+        }
+
+    def test_every_module_implements_the_protocol(self):
+        for spec in all_experiments():
+            module = spec.resolve()
+            for hook in ("cells", "run_cell", "collect", "report"):
+                assert callable(getattr(module, hook)), (spec.name, hook)
+
+    def test_every_experiment_produces_cells(self):
+        for spec in all_experiments():
+            cells = spec.build_cells(TINY, {})
+            assert cells, spec.name
+            for cell in cells:
+                assert isinstance(cell, GridCell)
+                assert cell.name
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("figure42")
+
+    def test_scalar_options_are_not_iterated_characterwise(self):
+        # CLI --set values arrive as scalars; a bare design string must become
+        # a one-element grid, not one cell per character.
+        cells = get_experiment("figure6").build_cells(TINY, {"designs": "c2670_like"})
+        assert [cell.params["design"] for cell in cells] == ["c2670_like", "c2670_like"]
+        cells = get_experiment("table2").build_cells(TINY, {"designs": "c2670_like"})
+        assert {cell.params["design"] for cell in cells} == {"c2670_like"}
+        cells = get_experiment("figure5").build_cells(TINY, {"widths": 4})
+        assert cells[0].params["widths"] == (4,)
+        cells = get_experiment("pipeline").build_cells(TINY, {"designs": "c6288_like"})
+        assert [cell.name for cell in cells] == ["c6288_like"]
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown option.*design.*supported.*designs"):
+            run_experiment("table2", profile=TINY, options={"design": "c2670_like"})
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register(ExperimentSpec(name="figure2", module="x", title="dup"))
+
+    def test_missing_protocol_hook_detected(self):
+        spec = ExperimentSpec(name="bogus", module="repro.experiments.reporting",
+                              title="not a harness")
+        with pytest.raises(TypeError, match="does not define"):
+            spec.resolve()
+
+
+class TestShards:
+    def test_shards_cover_every_pair_exactly_once(self):
+        shards = make_shards(10, 4)
+        seen = [pair for shard in shards for pair in shard.pairs]
+        expected = [(i, j) for i in range(10) for j in range(i + 1, 10)]
+        assert sorted(seen) == expected
+
+    def test_shard_seeds_deterministic(self):
+        first = make_shards(8, 3, base_seed=5)
+        second = make_shards(8, 3, base_seed=5)
+        assert first == second
+        assert len({shard.seed for shard in first}) == len(first)
+
+    def test_single_shard(self):
+        (shard,) = make_shards(4, 1)
+        assert len(shard.pairs) == 6
+
+    def test_empty_and_invalid(self):
+        assert make_shards(1, 4) == []
+        with pytest.raises(ValueError):
+            make_shards(4, 0)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-2) >= 1
+
+
+class TestRunner:
+    def test_serial_run_collects_and_reports(self, tmp_path):
+        run = run_experiment(
+            "transfer", profile=TINY, jobs=1, results_dir=tmp_path,
+            options={"design": "c6288_like"},
+        )
+        assert run.experiment == "transfer"
+        assert run.profile == "tiny"
+        assert len(run.outcomes) == 1
+        assert run.collected.design == "c6288_like"
+        assert "coverage" in run.report_text
+
+        # Structured artifacts: one JSONL record per cell + final run record.
+        stream = (tmp_path / "transfer-tiny.jsonl").read_text().splitlines()
+        assert len(stream) == 1
+        record = json.loads(stream[0])
+        assert record["experiment"] == "transfer"
+        assert record["result"]["coverage_percent"] >= 0.0
+
+        final = json.loads((tmp_path / "transfer-tiny.json").read_text())
+        assert final["report"] == run.report_text
+        assert len(final["cells"]) == 1
+
+    def test_parallel_run_matches_grid_order(self, tmp_path):
+        # Forked workers inherit the in-memory context cache; clear it so the
+        # disk-cache assertions below observe real worker activity.
+        common.clear_context_cache()
+        runner = ExperimentRunner(jobs=2, cache_dir=tmp_path / "cache",
+                                  results_dir=tmp_path / "results")
+        run = runner.run("figure3", profile=TINY, options={"design": "c6288_like"})
+        assert [outcome.name for outcome in run.outcomes] == ["default", "boosted"]
+        assert set(run.collected) == {"default", "boosted"}
+        assert run.jobs == 2
+        assert run.cache_stats is not None
+        assert run.cache_stats["stores"] + run.cache_stats["hits"] > 0
+
+    def test_profile_resolution_by_name(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            run_experiment("transfer", profile="huge")
+
+    def test_run_wrappers_return_native_types(self):
+        results = __import__("repro.experiments.figure2", fromlist=["run"]).run(
+            design="c6288_like", profile=TINY
+        )
+        assert len(results) == 4
+        assert {(r.reward_mode, r.masking) for r in results} == {
+            ("per_step", False), ("per_step", True),
+            ("end_of_episode", False), ("end_of_episode", True),
+        }
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure2", "table2", "pipeline"):
+            assert name in out
+
+    def test_run_and_report_roundtrip(self, tmp_path, capsys):
+        code = cli_main([
+            "run", "transfer", "--profile", "tiny", "--jobs", "1",
+            "--results-dir", str(tmp_path),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--set", "design=c6288_like",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transfer [tiny] finished" in out
+        assert "artifact cache:" in out
+
+        assert cli_main(["report", "--results-dir", str(tmp_path)]) == 0
+        assert "transfer" in capsys.readouterr().out
+
+        assert cli_main(["report", "transfer", "--results-dir", str(tmp_path)]) == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_report_without_runs(self, tmp_path, capsys):
+        assert cli_main(["report", "--results-dir", str(tmp_path)]) == 1
+        assert "no saved runs" in capsys.readouterr().out
+
+    def test_bad_option_syntax(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "transfer", "--set", "designc6288"])
