@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in README.md and docs/*.md.
+
+Scans every markdown link ``[text](target)`` in the repository's top-level
+``README.md`` and everything under ``docs/``; a *relative* target (no URL
+scheme, not an in-page ``#anchor``) must resolve — after stripping any
+``#fragment`` — to an existing file or directory relative to the file that
+contains the link.  External URLs and mailto links are not fetched.
+
+Used by the CI ``docs`` job (``python scripts/check_doc_links.py``) and by
+``tests/test_docs.py``, which imports :func:`broken_links` directly so the
+check also runs in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline links: [text](target).  Deliberately simple — the docs do
+#: not use reference-style links or angle-bracket targets.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not intra-repo file references.
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def doc_files(root: Path) -> list[Path]:
+    """The markdown files covered by the link check."""
+    files = []
+    readme = root / "README.md"
+    if readme.is_file():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def broken_links(root: Path) -> list[tuple[Path, str]]:
+    """All (file, target) pairs whose relative target does not resolve."""
+    broken: list[tuple[Path, str]] = []
+    for path in doc_files(root):
+        for target in _LINK.findall(path.read_text()):
+            if _EXTERNAL.match(target) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append((path, target))
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = doc_files(root)
+    broken = broken_links(root)
+    for path, target in broken:
+        print(f"{path.relative_to(root)}: broken link -> {target}", file=sys.stderr)
+    print(f"checked {len(files)} file(s), {len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

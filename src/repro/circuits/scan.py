@@ -1,4 +1,4 @@
-"""Full-scan conversion of sequential netlists.
+"""Full-scan conversion and sequential-view helpers.
 
 The paper assumes full scan access for sequential circuits (§4.1): every
 flip-flop can be loaded and observed through the scan chain, so for test
@@ -8,6 +8,12 @@ the flip-flop inputs behave as extra (pseudo) primary outputs.
 :func:`full_scan` performs that transformation explicitly, returning a purely
 combinational netlist on which simulation, SAT justification, rare-net
 extraction and Trojan insertion all operate.
+
+The *sequential* workload family keeps the flip-flops in place instead:
+:func:`sequential_interface` describes the raw sequential netlist as a state
+machine (primary inputs, state nets, next-state nets) for the multi-cycle
+engine in :mod:`repro.simulation.compiled`, which steps the combinational
+core cycle by cycle rather than pretending every flip-flop is controllable.
 """
 
 from __future__ import annotations
@@ -64,4 +70,61 @@ def ensure_combinational(netlist: Netlist) -> Netlist:
     return scanned
 
 
-__all__ = ["ScanInfo", "full_scan", "ensure_combinational"]
+@dataclass(frozen=True)
+class SequentialInterface:
+    """State-machine view of a sequential netlist.
+
+    Attributes:
+        inputs: primary inputs — the per-cycle stimulus of a test sequence.
+        state: flip-flop Q nets, in flip-flop declaration order; their values
+            at cycle ``t`` are the circuit state entering that cycle.
+        next_state: flip-flop D nets, aligned with ``state``; their values at
+            cycle ``t`` become ``state`` at cycle ``t + 1``.
+    """
+
+    inputs: tuple[str, ...]
+    state: tuple[str, ...]
+    next_state: tuple[str, ...]
+
+    @property
+    def num_state_bits(self) -> int:
+        """Number of flip-flops (state-register width)."""
+        return len(self.state)
+
+    def reset_assignment(self) -> dict[str, int]:
+        """The all-zero reset state: every flip-flop Q at 0.
+
+        This is the initial state the multi-cycle engine assumes unless an
+        explicit initial state is supplied; it matches a synchronous reset
+        that clears the whole state register.
+        """
+        return {q: 0 for q in self.state}
+
+
+def sequential_interface(netlist: Netlist) -> SequentialInterface:
+    """Describe ``netlist`` as a Mealy machine for multi-cycle simulation.
+
+    Raises ValueError on combinational netlists — callers that can handle
+    both should branch on :attr:`Netlist.is_sequential` instead of relying on
+    an empty interface.
+    """
+    if not netlist.is_sequential:
+        raise ValueError(
+            f"netlist {netlist.name!r} has no flip-flops; use the "
+            "combinational flow directly"
+        )
+    flip_flops = netlist.flip_flops
+    return SequentialInterface(
+        inputs=netlist.inputs,
+        state=tuple(ff.q for ff in flip_flops),
+        next_state=tuple(ff.d for ff in flip_flops),
+    )
+
+
+__all__ = [
+    "ScanInfo",
+    "SequentialInterface",
+    "full_scan",
+    "ensure_combinational",
+    "sequential_interface",
+]

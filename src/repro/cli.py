@@ -8,6 +8,10 @@ Subcommands:
   experiment through the runner and print its paper-vs-measured report.
 - ``deterrent report [<experiment>] [--results-dir DIR]`` — list saved runs,
   or re-print the stored report of one experiment.
+- ``deterrent cache [--cache-dir DIR]`` — inspect the artifact cache
+  (per-kind entry counts and sizes).  Entries are content-addressed and
+  never evicted, so the directory grows without bound; prune by deleting it
+  (a ``deterrent cache prune`` with real GC is a ROADMAP item).
 
 Every run writes structured artifacts under ``--results-dir`` (default
 ``results/``): a JSONL stream with one record per grid cell, plus a final
@@ -81,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument(
         "--results-dir", default=None, help="directory holding run artifacts"
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect the artifact cache (entries, sizes, growth caveat)"
+    )
+    cache_parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory to inspect (default: DETERRENT_CACHE_DIR)",
     )
     return parser
 
@@ -169,6 +181,45 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.runner.cache import CACHE_DIR_ENV, ArtifactCache, get_default_cache
+
+    if args.cache_dir is not None:
+        cache = ArtifactCache(Path(args.cache_dir))
+    else:
+        cache = get_default_cache()
+    if cache is None:
+        print(
+            "no artifact cache configured (pass --cache-dir or set "
+            f"{CACHE_DIR_ENV})"
+        )
+        return 1
+    root = Path(cache.root)
+    if not root.is_dir():
+        print(f"cache directory {root} does not exist yet (nothing cached)")
+        return 0
+    rows = []
+    total_entries = 0
+    total_bytes = 0
+    for kind_dir in sorted(path for path in root.iterdir() if path.is_dir()):
+        entries = list(kind_dir.glob("*.pkl"))
+        size = sum(entry.stat().st_size for entry in entries)
+        rows.append([kind_dir.name, len(entries), f"{size / 1024:.1f} KiB"])
+        total_entries += len(entries)
+        total_bytes += size
+    if not rows:
+        print(f"cache directory {root} is empty")
+        return 0
+    print(format_table(["Kind", "Entries", "Size"], rows))
+    print(f"\n{total_entries} entries, {total_bytes / 1024:.1f} KiB under {root}")
+    print(
+        "entries are content-addressed and never evicted; the directory grows "
+        "without bound.\nDelete it (or individual <kind>/ subdirectories) to "
+        "reclaim space — every entry\nis recomputable."
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (returns a process exit code)."""
     args = build_parser().parse_args(argv)
@@ -179,6 +230,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_run(args)
         if args.command == "report":
             return _command_report(args)
+        if args.command == "cache":
+            return _command_cache(args)
     except BrokenPipeError:
         # Output piped into a pager/head that exited early; not an error.
         return 0

@@ -4,6 +4,11 @@ A :class:`PatternSet` is the interface shared by DETERRENT and every baseline:
 an ordered list of input patterns over the controllable nets of a netlist.
 The Trojan evaluator consumes pattern sets; the experiments compare their
 sizes and trigger coverage.
+
+:class:`SequenceSet` is the sequential-workload counterpart: an ordered set
+of multi-cycle input *sequences* over the primary inputs of a raw sequential
+netlist, consumed by the multi-cycle Trojan evaluator
+(:func:`repro.trojan.evaluation.sequence_trigger_coverage`).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import numpy as np
 from repro.circuits.netlist import Netlist
 from repro.core.compatibility import CompatibilityAnalysis
 from repro.sat.justify import Justifier
+from repro.utils.rng import RngLike, make_rng
 
 
 @dataclass
@@ -89,6 +95,67 @@ class PatternSet:
         )
 
 
+@dataclass
+class SequenceSet:
+    """An ordered set of multi-cycle test sequences for one sequential netlist.
+
+    Attributes:
+        inputs: the primary inputs, defining the last axis of ``sequences``.
+        sequences: 0/1 array of shape ``(num_sequences, cycles, len(inputs))``;
+            ``sequences[s, t]`` is the stimulus applied at clock cycle ``t``
+            of sequence ``s``.  Every sequence starts from the reset state.
+        technique: name of the generating technique (for reports).
+        metadata: free-form extra information.
+    """
+
+    inputs: tuple[str, ...]
+    sequences: np.ndarray
+    technique: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.sequences = np.asarray(self.sequences, dtype=np.uint8)
+        if self.sequences.ndim != 3:
+            raise ValueError(
+                f"sequences must be 3-D (num_sequences, cycles, num_inputs), "
+                f"got shape {self.sequences.shape}"
+            )
+        if self.sequences.size and self.sequences.shape[2] != len(self.inputs):
+            raise ValueError(
+                f"sequence width {self.sequences.shape[2]} does not match "
+                f"{len(self.inputs)} input nets"
+            )
+
+    def __len__(self) -> int:
+        return self.sequences.shape[0]
+
+    @property
+    def cycles(self) -> int:
+        """Clock cycles per sequence."""
+        return self.sequences.shape[1]
+
+    @classmethod
+    def random(
+        cls,
+        netlist: Netlist,
+        num_sequences: int,
+        cycles: int,
+        seed: RngLike = None,
+        technique: str = "Random",
+    ) -> "SequenceSet":
+        """Uniformly random stimulus — the baseline sequential workload."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {cycles}")
+        if num_sequences < 0:
+            raise ValueError(f"num_sequences must be >= 0, got {num_sequences}")
+        rng = make_rng(seed)
+        inputs = netlist.inputs
+        sequences = rng.integers(
+            0, 2, size=(num_sequences, cycles, len(inputs)), dtype=np.uint8
+        )
+        return cls(inputs=inputs, sequences=sequences, technique=technique)
+
+
 def generate_patterns(
     compatibility: CompatibilityAnalysis,
     compatible_sets: list[frozenset[int]],
@@ -147,4 +214,4 @@ def _repair_set(
     return justifier.witness(requirements), requirements
 
 
-__all__ = ["PatternSet", "generate_patterns"]
+__all__ = ["PatternSet", "SequenceSet", "generate_patterns"]

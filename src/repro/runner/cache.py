@@ -12,6 +12,20 @@ the larger circuits.  The cache stores each artifact under a key derived from
   the parameters that influenced the artifact (threshold, pattern count,
   seed, trigger width, ...).
 
+The content-address key contract: an entry lives at
+``<root>/<kind>/<config_fingerprint(**key_parts)>.pkl``, where the caller's
+``key_parts`` must include every input that influenced the artifact — the
+netlist (passed as its fingerprint or as a ``Netlist``, which is reduced to
+its fingerprint), plus all scalar configuration.  ``config_fingerprint``
+canonicalises before hashing (keys sorted, dataclasses reduced to tagged
+dicts, tuples and lists identified, nested netlists fingerprinted), so two
+call sites that build the same logical key — e.g. the compute path in
+``prepare_benchmark`` and the write-through path in ``_write_through`` —
+address the same file even across processes, sessions, and machines.  The
+flip side: entries are immutable and *never evicted*; key construction is
+append-only (renaming a key part orphans old entries rather than corrupting
+them).  ``deterrent cache`` reports per-kind growth.
+
 Loads are corruption tolerant: any failure to read or unpickle an entry is
 treated as a miss (the offending file is removed) and the artifact is simply
 recomputed.  Stores are atomic (write to a temp file, then ``os.replace``) so

@@ -19,6 +19,22 @@ Two properties matter:
   ``(base_seed, shard index)``, so any future randomised solver heuristic
   stays reproducible under resharding of the same ``n_shards``.
 
+The shard→seed determinism contract, spelled out (anything touching
+:func:`make_shards` must preserve all three):
+
+1. pairs are enumerated in row-major upper-triangle order and dealt
+   round-robin — shard ``s`` owns pair number ``p`` iff ``p % n_shards ==
+   s`` — with no dependence on wall clock, process ids, or completion order;
+2. ``shard.seed == base_seed + 7919 * shard.index`` (a fixed prime stride,
+   so distinct shards never share a seed for any ``base_seed`` spacing
+   < 7919), which makes worker-side randomness a pure function of the
+   submitted work, not of which process picks it up;
+3. empty shards are dropped *after* indices and seeds are assigned, so a
+   shard's identity never shifts with the number of non-empty peers.
+
+Consumers may therefore cache, replay, or re-execute any shard in isolation
+and obtain the same verdicts the full run would have produced.
+
 Netlists travel to workers as canonical ``.bench`` text (compact, and avoids
 pickling memoised derived structures); each worker re-encodes the CNF once in
 its initializer and answers all its shards incrementally.

@@ -82,7 +82,7 @@ def all_experiments() -> tuple[ExperimentSpec, ...]:
     return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
 
 
-#: The ten experiment harnesses of the reproduction.
+#: The eleven experiment harnesses of the reproduction.
 SPECS = tuple(
     register(spec)
     for spec in (
@@ -145,6 +145,13 @@ SPECS = tuple(
             module="repro.experiments.pipeline_run",
             title="End-to-end DETERRENT pipeline",
             description="Full Figure-4 flow plus coverage on one design.",
+        ),
+        ExperimentSpec(
+            name="sequential",
+            module="repro.experiments.sequential",
+            title="Sequential workload: multi-cycle trigger coverage",
+            description="Raw sequential netlists, state-dependent rare nets, "
+                        "counter/shift-register triggers across cycle depths.",
         ),
     )
 )

@@ -22,6 +22,32 @@ is checked against one clean-netlist simulation by AND-reducing the packed
 rows of the trigger nets (see :func:`batched_conjunctions` and
 :mod:`repro.trojan.evaluation`), instead of simulating one infected netlist
 per Trojan.
+
+Levelised-group layout (the invariant everything above relies on):
+
+- the schedule is a tuple of :class:`_GateGroup` sorted by ``(level,
+  reduction ufunc)``; because every operand of a level-``L`` gate has level
+  ``< L``, each group only reads rows that earlier groups (or the sources)
+  have already written, so groups can execute strictly in schedule order with
+  no further dependency tracking;
+- within a group, ``operands`` is a ``(fanin, group_size)`` int64 id matrix
+  padded with the hidden constant rows (``const0``/``const1`` live *after*
+  the real nets at ids ``num_nets`` and ``num_nets + 1``) up to the group's
+  widest gate, so one fancy-index + ``ufunc.reduce(axis=0)`` evaluates the
+  whole group;
+- inverting gate types are folded into a per-column XOR mask rather than
+  separate groups, so a level compiles to at most one group per reduction
+  family (AND, OR, XOR).
+
+**Sequential circuits.** :class:`CompiledSequentialNetlist` extends the same
+machinery across clock cycles: the flip-flop boundary is cut (the full-scan
+combinational core is compiled once), a ``(num_state_bits, num_words)``
+uint64 state matrix carries 64 *pattern sequences* per word, and each clock
+cycle is one ``run_packed`` call whose next-state rows are gathered back into
+the state matrix.  The per-cycle value matrices stack into a
+``(cycles, num_nets, num_words)`` tensor that the state-dependent rare-net
+extraction and the multi-cycle Trojan evaluator consume directly (see
+:func:`conjunction_words` for the packed per-cycle trigger primitive).
 """
 
 from __future__ import annotations
@@ -37,6 +63,7 @@ from repro.utils.rng import RngLike, make_rng
 _WORD_BITS = 64
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 _MEMO_KEY = "compiled_netlist"
+_SEQUENTIAL_MEMO_KEY = "compiled_sequential_netlist"
 
 #: Word-level reduction family implementing each gate type, plus an inversion
 #: flag.  BUF/NOT join the AND family (an AND over one operand is the
@@ -272,6 +299,183 @@ def compile_netlist(netlist: Netlist) -> CompiledNetlist:
     return netlist.memo(_MEMO_KEY, lambda: CompiledNetlist(netlist))
 
 
+class CompiledSequentialNetlist:
+    """A sequential netlist lowered for multi-cycle matrix-at-once simulation.
+
+    The flip-flop boundary is cut once: the combinational core (identical to
+    the full-scan view, so net names and ids match the combinational flow) is
+    compiled to the levelised group schedule, and clocking is a state-matrix
+    update.  A ``(num_state_bits, num_words)`` uint64 state matrix carries 64
+    independent *pattern sequences* per word; every clock cycle evaluates the
+    core once on ``[per-cycle inputs; current state]`` and gathers the
+    flip-flop D rows of the result back into the state matrix.
+
+    All sequences start from the all-zero reset state unless an explicit
+    ``initial_state`` is given, and all sequences advance in lockstep — cycle
+    ``t`` of every packed lane is simulated by the same ``run_packed`` call.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        from repro.circuits.scan import ensure_combinational, sequential_interface
+
+        if not netlist.is_sequential:
+            raise ValueError(
+                "CompiledSequentialNetlist requires a sequential netlist; "
+                "combinational circuits have no state to step (use CompiledNetlist)"
+            )
+        self.netlist = netlist
+        self.interface = sequential_interface(netlist)
+        self._core_netlist = ensure_combinational(netlist)
+        self._core = compile_netlist(self._core_netlist)
+        if self._core.sources != self.interface.inputs + self.interface.state:
+            raise ValueError(
+                "full-scan source ordering does not match the sequential "
+                "interface (inputs followed by flip-flop Q nets)"
+            )
+        self.net_names: tuple[str, ...] = self._core.net_names
+        self.num_nets = self._core.num_nets
+        self.num_inputs = len(self.interface.inputs)
+        self.num_state_bits = self.interface.num_state_bits
+        self._next_state_rows = np.fromiter(
+            (self._core.index_of(d) for d in self.interface.next_state),
+            dtype=np.int64,
+            count=self.num_state_bits,
+        )
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        """Primary inputs: the per-cycle stimulus of a test sequence."""
+        return self.interface.inputs
+
+    def index_of(self, net: str) -> int:
+        """Dense id of ``net`` (row index within each cycle's value matrix)."""
+        return self._core.index_of(net)
+
+    def __contains__(self, net: str) -> bool:
+        return net in self._core
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run_packed_sequence(
+        self, packed_inputs: np.ndarray, initial_state: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Step packed input words across clock cycles.
+
+        ``packed_inputs`` must have shape ``(cycles, num_inputs, num_words)``;
+        bit lane ``b`` of word ``w`` across all cycles forms one input
+        sequence.  ``initial_state`` is an optional packed
+        ``(num_state_bits, num_words)`` state matrix (default: all-zero
+        reset).  Returns a ``(cycles, num_nets, num_words)`` tensor whose
+        slice ``[t]`` is the value matrix of cycle ``t``.
+        """
+        packed_inputs = np.asarray(packed_inputs, dtype=np.uint64)
+        if packed_inputs.ndim != 3 or packed_inputs.shape[1] != self.num_inputs:
+            raise ValueError(
+                f"packed sequence inputs must have shape (cycles, "
+                f"{self.num_inputs}, num_words), got {packed_inputs.shape}"
+            )
+        cycles, _, num_words = packed_inputs.shape
+        if cycles == 0:
+            raise ValueError("a sequence needs at least one clock cycle")
+        if initial_state is None:
+            state = np.zeros((self.num_state_bits, num_words), dtype=np.uint64)
+        else:
+            state = np.asarray(initial_state, dtype=np.uint64)
+            if state.shape != (self.num_state_bits, num_words):
+                raise ValueError(
+                    f"initial state must have shape ({self.num_state_bits}, "
+                    f"{num_words}), got {state.shape}"
+                )
+        values = np.empty((cycles, self.num_nets, num_words), dtype=np.uint64)
+        sources = np.empty((self.num_inputs + self.num_state_bits, num_words), dtype=np.uint64)
+        for cycle in range(cycles):
+            sources[: self.num_inputs] = packed_inputs[cycle]
+            sources[self.num_inputs:] = state
+            values[cycle] = self._core.run_packed(sources)
+            state = values[cycle][self._next_state_rows]
+        return values
+
+    def run_sequences(
+        self, sequences: np.ndarray, initial_state: np.ndarray | None = None
+    ) -> tuple[np.ndarray, int]:
+        """Pack and simulate a ``(num_sequences, cycles, num_inputs)`` 0/1 array.
+
+        ``initial_state`` is an optional unpacked ``(num_sequences,
+        num_state_bits)`` 0/1 array (default: reset).  Returns
+        ``(tensor, num_sequences)`` with ``tensor`` as in
+        :meth:`run_packed_sequence`.
+        """
+        from repro.simulation.logic_sim import pack_patterns
+
+        sequences = np.asarray(sequences)
+        if sequences.ndim != 3 or sequences.shape[2] != self.num_inputs:
+            raise ValueError(
+                f"sequences must have shape (num_sequences, cycles, "
+                f"{self.num_inputs}), got {sequences.shape}"
+            )
+        num_sequences, cycles, _ = sequences.shape
+        if cycles == 0:
+            raise ValueError("a sequence needs at least one clock cycle")
+        packed_cycles = [pack_patterns(sequences[:, cycle, :])[0] for cycle in range(cycles)]
+        packed = np.stack(packed_cycles)
+        packed_state = None
+        if initial_state is not None:
+            initial_state = np.asarray(initial_state)
+            if initial_state.shape != (num_sequences, self.num_state_bits):
+                raise ValueError(
+                    f"initial state must have shape ({num_sequences}, "
+                    f"{self.num_state_bits}), got {initial_state.shape}"
+                )
+            packed_state = pack_patterns(initial_state)[0]
+        return self.run_packed_sequence(packed, initial_state=packed_state), num_sequences
+
+    def count_ones_per_cycle(
+        self, num_sequences: int, cycles: int, seed: RngLike = None
+    ) -> np.ndarray:
+        """Per-cycle, per-net count of 1-values over random input sequences.
+
+        Draws ``num_sequences`` random input sequences of length ``cycles``
+        directly in packed form, steps them from reset, and returns an
+        ``int64`` matrix of shape ``(cycles, num_nets)`` aligned with
+        :attr:`net_names`.  This is the substrate of state-dependent rare-net
+        extraction: activation counts are taken under the circuit's *reached*
+        state distribution instead of the full-scan assumption that every
+        flip-flop is directly controllable.
+        """
+        if cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {cycles}")
+        if num_sequences <= 0:
+            return np.zeros((cycles, self.num_nets), dtype=np.int64)
+        rng = make_rng(seed)
+        num_words = max(1, (num_sequences + _WORD_BITS - 1) // _WORD_BITS)
+        packed = rng.integers(
+            0, 2**64 - 1, size=(cycles, self.num_inputs, num_words),
+            dtype=np.uint64, endpoint=True,
+        )
+        tail_bits = num_sequences - (num_words - 1) * _WORD_BITS
+        if 0 < tail_bits < _WORD_BITS:
+            packed[:, :, -1] &= np.uint64((1 << tail_bits) - 1)
+        values = self.run_packed_sequence(packed)
+        if 0 < tail_bits < _WORD_BITS:
+            values[:, :, -1] &= np.uint64((1 << tail_bits) - 1)
+        return np.bitwise_count(values).sum(axis=2, dtype=np.int64)
+
+
+def compile_sequential_netlist(netlist: Netlist) -> CompiledSequentialNetlist:
+    """Compile a sequential ``netlist`` for multi-cycle simulation (memoised).
+
+    Like :func:`compile_netlist`, the artefact lives in the netlist's memo
+    cache and is invalidated automatically on structural mutation.
+    """
+    return netlist.memo(
+        _SEQUENTIAL_MEMO_KEY, lambda: CompiledSequentialNetlist(netlist)
+    )
+
+
 def unpack_matrix(words: np.ndarray, num_patterns: int) -> np.ndarray:
     """Unpack ``(rows, num_words)`` uint64 words into ``(rows, num_patterns)`` bits."""
     words = np.atleast_2d(np.asarray(words, dtype=np.uint64))
@@ -299,23 +503,43 @@ def batched_conjunctions(
     activations = np.zeros((len(conjunctions), num_patterns), dtype=bool)
     if not conjunctions or num_patterns == 0:
         return activations
+    fired = conjunction_words(matrix, conjunctions)
+    return unpack_matrix(fired, num_patterns).astype(bool)
+
+
+def conjunction_words(
+    matrix: np.ndarray, conjunctions: list[tuple[np.ndarray, np.ndarray]]
+) -> np.ndarray:
+    """Packed activation words of many conjunctions on one value matrix.
+
+    The packed counterpart of :func:`batched_conjunctions`: the result has
+    shape ``(num_conjunctions, num_words)`` and bit ``b`` of word ``w`` in row
+    ``t`` is 1 iff pattern ``w * 64 + b`` fires conjunction ``t``.  The
+    multi-cycle Trojan evaluator calls this once per clock cycle and combines
+    the per-cycle words with bit-plane accumulators, so pattern-sequence
+    lanes stay packed end to end.
+    """
+    num_words = matrix.shape[1]
+    fired = np.zeros((len(conjunctions), num_words), dtype=np.uint64)
     by_width: dict[int, list[int]] = {}
     for position, (ids, _) in enumerate(conjunctions):
         by_width.setdefault(len(ids), []).append(position)
-    for width, positions in by_width.items():
+    for _width, positions in by_width.items():
         ids = np.stack([conjunctions[p][0] for p in positions])  # (T, width)
         required = np.stack([conjunctions[p][1] for p in positions])  # (T, width)
-        words = matrix[ids]  # (T, width, num_words)
+        words = matrix[ids]  # (T, width, num_words), a copy
         flip = required == 0
         words[flip] = ~words[flip]
-        fired = np.bitwise_and.reduce(words, axis=1)  # (T, num_words)
-        activations[positions] = unpack_matrix(fired, num_patterns).astype(bool)
-    return activations
+        fired[positions] = np.bitwise_and.reduce(words, axis=1)  # (T, num_words)
+    return fired
 
 
 __all__ = [
     "CompiledNetlist",
+    "CompiledSequentialNetlist",
     "compile_netlist",
+    "compile_sequential_netlist",
     "batched_conjunctions",
+    "conjunction_words",
     "unpack_matrix",
 ]

@@ -20,7 +20,13 @@ for production use.
 Sequential netlists must be converted to their full-scan combinational view
 first (:func:`repro.circuits.scan.ensure_combinational`); the simulator
 rejects netlists that still contain flip-flops to avoid silently wrong
-results.
+results.  For raw (non-scan) sequential circuits, :func:`simulate_sequences`
+is the naive cycle loop: it clocks the full-scan core one cycle at a time,
+carrying flip-flop state between cycles as plain 0/1 arrays.  It is the
+reference oracle the multi-cycle engine
+(:class:`repro.simulation.compiled.CompiledSequentialNetlist`) is tested
+against, and the ground-truth simulator for Trojan-infected sequential
+netlists.
 """
 
 from __future__ import annotations
@@ -226,6 +232,63 @@ def _evaluate_packed(
     return result & np.full(num_words, _ALL_ONES, dtype=np.uint64)
 
 
+def simulate_sequences(
+    netlist: Netlist,
+    sequences: np.ndarray,
+    initial_state: np.ndarray | None = None,
+    engine: str = "compiled",
+) -> dict[str, np.ndarray]:
+    """Naive multi-cycle simulation: clock the full-scan core one cycle at a time.
+
+    Args:
+        netlist: a raw sequential netlist (flip-flops still in place).
+        sequences: 0/1 array of shape ``(num_sequences, cycles, num_inputs)``;
+            ``sequences[s, t]`` is the primary-input stimulus of sequence
+            ``s`` at clock cycle ``t``.
+        initial_state: optional 0/1 array ``(num_sequences, num_state_bits)``
+            of flip-flop Q values entering cycle 0 (default: all-zero reset).
+        engine: per-cycle engine — ``"reference"`` selects the per-gate Python
+            interpreter, making this a fully independent oracle for the
+            multi-cycle compiled engine.
+
+    Returns a mapping net -> 0/1 array of shape ``(cycles, num_sequences)``.
+    This is deliberately the simplest correct implementation (one simulator
+    call per cycle, state carried as unpacked arrays); it exists as the
+    differential-testing oracle and the infected-netlist ground truth, not as
+    a hot path.
+    """
+    from repro.circuits.scan import ensure_combinational, sequential_interface
+
+    interface = sequential_interface(netlist)
+    sequences = np.asarray(sequences, dtype=np.uint8)
+    if sequences.ndim != 3 or sequences.shape[2] != len(interface.inputs):
+        raise ValueError(
+            f"sequences must have shape (num_sequences, cycles, "
+            f"{len(interface.inputs)}), got {sequences.shape}"
+        )
+    num_sequences, cycles, _ = sequences.shape
+    if cycles == 0:
+        raise ValueError("a sequence needs at least one clock cycle")
+    if initial_state is None:
+        state = np.zeros((num_sequences, interface.num_state_bits), dtype=np.uint8)
+    else:
+        state = np.asarray(initial_state, dtype=np.uint8)
+        if state.shape != (num_sequences, interface.num_state_bits):
+            raise ValueError(
+                f"initial state must have shape ({num_sequences}, "
+                f"{interface.num_state_bits}), got {state.shape}"
+            )
+    simulator = BitParallelSimulator(ensure_combinational(netlist), engine=engine)
+    history: dict[str, list[np.ndarray]] = {}
+    for cycle in range(cycles):
+        stimulus = np.hstack([sequences[:, cycle, :], state])
+        values = simulator.run_patterns(stimulus)
+        for net, bits in values.items():
+            history.setdefault(net, []).append(bits)
+        state = np.column_stack([values[d] for d in interface.next_state])
+    return {net: np.stack(per_cycle) for net, per_cycle in history.items()}
+
+
 def simulate_pattern(netlist: Netlist, assignment: dict[str, int]) -> dict[str, int]:
     """Simulate a single input assignment given as a net-name -> 0/1 mapping.
 
@@ -248,4 +311,5 @@ __all__ = [
     "pack_patterns",
     "unpack_values",
     "simulate_pattern",
+    "simulate_sequences",
 ]

@@ -10,6 +10,14 @@ for Trojan trigger insertion, so this module is the interface between the
 circuit substrate and everything above it.  Probability estimation runs on
 the compiled simulation engine (:mod:`repro.simulation.compiled`), so
 repeated extractions on the same netlist reuse one compiled artefact.
+
+Passing ``cycles=N`` switches to *state-dependent* extraction on a raw
+sequential netlist: activation counts are aggregated over ``N`` clock cycles
+of random input sequences stepped from reset, so rareness reflects the state
+distribution the machine actually reaches rather than the full-scan
+assumption that every flip-flop is uniformly random.  Flip-flop Q nets are
+legitimate rare nets in this mode (state bits are exactly where sequential
+Trojans hide their triggers); only primary inputs stay excluded.
 """
 
 from __future__ import annotations
@@ -17,7 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.circuits.netlist import Netlist
-from repro.simulation.probability import estimate_signal_probabilities
+from repro.simulation.probability import (
+    estimate_sequential_signal_probabilities,
+    estimate_signal_probabilities,
+)
 from repro.utils.rng import RngLike
 
 
@@ -43,18 +54,27 @@ def extract_rare_nets(
     seed: RngLike = None,
     probabilities: dict[str, float] | None = None,
     exclude_sources: bool = True,
+    cycles: int | None = None,
 ) -> list[RareNet]:
     """Identify rare nets of ``netlist`` at ``threshold``.
 
     Args:
-        netlist: combinational (or full-scan converted) netlist.
+        netlist: combinational (or full-scan converted) netlist — or, with
+            ``cycles`` set, a raw sequential netlist.
         threshold: rareness threshold; a net is rare if min(P(0), P(1)) < threshold.
-        num_patterns: random patterns used for probability estimation when
+        num_patterns: random patterns (or, with ``cycles``, random input
+            *sequences*) used for probability estimation when
             ``probabilities`` is not supplied.
         seed: RNG seed for the probability estimation.
         probabilities: optional precomputed P(net = 1) mapping.
         exclude_sources: drop primary/pseudo inputs (they are trivially
-            controllable and never used as trigger nets).
+            controllable and never used as trigger nets).  With ``cycles``,
+            flip-flop Q nets are *kept*: state bits are not directly
+            controllable in the sequential view, so state-dependent rareness
+            on them is meaningful.
+        cycles: when set, use state-dependent extraction — aggregate per-cycle
+            activation counts over ``cycles`` clock cycles of random sequences
+            stepped from reset (requires a sequential netlist).
 
     Returns:
         Rare nets sorted by ascending probability then name (most biased first).
@@ -65,9 +85,21 @@ def extract_rare_nets(
     """
     if not 0.0 < threshold <= 0.5:
         raise ValueError(f"threshold must be in (0, 0.5], got {threshold}")
-    if probabilities is None:
-        probabilities = estimate_signal_probabilities(netlist, num_patterns, seed=seed)
-    sources = set(netlist.combinational_sources()) if exclude_sources else set()
+    if cycles is not None:
+        if not netlist.is_sequential:
+            raise ValueError(
+                "cycles-based extraction requires a sequential netlist; "
+                f"{netlist.name!r} has no flip-flops"
+            )
+        if probabilities is None:
+            probabilities = estimate_sequential_signal_probabilities(
+                netlist, cycles=cycles, num_sequences=num_patterns, seed=seed
+            )
+        sources = set(netlist.inputs) if exclude_sources else set()
+    else:
+        if probabilities is None:
+            probabilities = estimate_signal_probabilities(netlist, num_patterns, seed=seed)
+        sources = set(netlist.combinational_sources()) if exclude_sources else set()
     rare: list[RareNet] = []
     for net, p_one in probabilities.items():
         if net in sources:

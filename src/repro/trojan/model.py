@@ -6,6 +6,16 @@ values — and a *payload* that corrupts the design when the trigger fires
 For trigger-coverage evaluation only the trigger matters: a test pattern
 *detects* the Trojan iff it activates the trigger condition, because an
 activated trigger propagates a visible corruption through the payload.
+
+The sequential workload family extends this with *multi-cycle* triggers
+(:class:`SequentialTrigger`): the same rare-value conjunction must hold for
+``count`` **consecutive** clock cycles (a shift-register trigger) or in
+``count`` cycles **cumulatively** over the sequence (a counter trigger — the
+classic "time-bomb" structure).  A :class:`SequentialTrojan` carries such a
+trigger plus a payload output; its hardware realisation
+(:func:`repro.trojan.insertion.insert_sequential_trojan`) adds real
+flip-flops, so the infected netlist is a strictly sequential circuit that a
+full-scan combinational test set cannot exercise faithfully.
 """
 
 from __future__ import annotations
@@ -65,4 +75,68 @@ class Trojan:
         return self.trigger.width
 
 
-__all__ = ["TriggerCondition", "Trojan"]
+#: Temporal firing rules of a multi-cycle trigger.
+SEQUENTIAL_TRIGGER_MODES = ("consecutive", "cumulative")
+
+
+@dataclass(frozen=True)
+class SequentialTrigger:
+    """A multi-cycle trigger: a rare-value conjunction with a temporal rule.
+
+    The *condition* is the per-cycle predicate (identical to a combinational
+    trigger); the trigger **fires** at clock cycle ``t`` when
+
+    - ``mode="consecutive"``: the condition held at cycles
+      ``t - count + 1 .. t`` (a ``count``-stage shift-register trigger);
+    - ``mode="cumulative"``: cycle ``t`` is at least the ``count``-th cycle
+      of the sequence in which the condition held (a saturating-counter
+      trigger; activations need not be adjacent).
+
+    ``count=1`` degenerates to the combinational single-cycle trigger in
+    both modes.
+    """
+
+    condition: TriggerCondition
+    mode: str
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.mode not in SEQUENTIAL_TRIGGER_MODES:
+            raise ValueError(
+                f"mode must be one of {SEQUENTIAL_TRIGGER_MODES}, got {self.mode!r}"
+            )
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    @property
+    def width(self) -> int:
+        """Width of the per-cycle conjunction."""
+        return self.condition.width
+
+    @property
+    def nets(self) -> tuple[str, ...]:
+        """The trigger nets."""
+        return self.condition.nets
+
+
+@dataclass(frozen=True)
+class SequentialTrojan:
+    """A multi-cycle Trojan: a temporal trigger plus the corrupted output."""
+
+    trigger: SequentialTrigger
+    payload_output: str
+    name: str = ""
+
+    @property
+    def width(self) -> int:
+        """Per-cycle trigger width of this Trojan."""
+        return self.trigger.width
+
+
+__all__ = [
+    "TriggerCondition",
+    "Trojan",
+    "SEQUENTIAL_TRIGGER_MODES",
+    "SequentialTrigger",
+    "SequentialTrojan",
+]

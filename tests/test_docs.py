@@ -1,0 +1,53 @@
+"""Documentation health: intra-repo links and docs/registry agreement."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _link_checker():
+    """Import scripts/check_doc_links.py as a module (it is not packaged)."""
+    path = REPO_ROOT / "scripts" / "check_doc_links.py"
+    spec = importlib.util.spec_from_file_location("check_doc_links", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocLinks:
+    def test_docs_pages_exist(self):
+        assert (REPO_ROOT / "docs" / "architecture.md").is_file()
+        assert (REPO_ROOT / "docs" / "experiments.md").is_file()
+
+    def test_readme_links_the_docs(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/architecture.md" in readme
+        assert "docs/experiments.md" in readme
+
+    def test_no_broken_intra_repo_links(self):
+        checker = _link_checker()
+        files = checker.doc_files(REPO_ROOT)
+        assert len(files) >= 3  # README + the two docs pages
+        assert checker.broken_links(REPO_ROOT) == []
+
+    def test_checker_flags_a_broken_link(self, tmp_path):
+        checker = _link_checker()
+        (tmp_path / "README.md").write_text(
+            "[ok](docs/page.md) [bad](missing.md) [web](https://example.com)"
+        )
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "page.md").write_text("[up](../README.md#anchor)")
+        broken = checker.broken_links(tmp_path)
+        assert [target for _, target in broken] == ["missing.md"]
+
+
+class TestDocsMatchRegistry:
+    def test_every_registered_harness_is_documented(self):
+        from repro.runner.registry import all_experiments
+
+        text = (REPO_ROOT / "docs" / "experiments.md").read_text()
+        for spec in all_experiments():
+            assert f"`{spec.name}`" in text, f"{spec.name} missing from docs/experiments.md"

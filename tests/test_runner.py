@@ -32,11 +32,12 @@ def _reset_default_cache():
 
 
 class TestRegistry:
-    def test_all_ten_harnesses_registered(self):
+    def test_all_eleven_harnesses_registered(self):
         names = {spec.name for spec in all_experiments()}
         assert names == {
             "figure2", "figure3", "figure5", "figure6", "figure7",
             "table1", "table2", "transfer", "ablations", "pipeline",
+            "sequential",
         }
 
     def test_every_module_implements_the_protocol(self):
@@ -153,6 +154,44 @@ class TestRunner:
         with pytest.raises(KeyError, match="unknown profile"):
             run_experiment("transfer", profile="huge")
 
+    def test_sequential_cells_are_cache_and_shard_stable(self, tmp_path):
+        """The sequential harness: jobs=1 == jobs=2, second run fully cached."""
+        options = {"designs": "s13207_like", "cycles": 3, "counts": 2}
+        common.clear_context_cache()
+        serial = ExperimentRunner(jobs=1, cache_dir=tmp_path / "cache").run(
+            "sequential", profile=TINY, options=options
+        )
+        assert [outcome.name for outcome in serial.outcomes] == [
+            "s13207_like-c3-consecutive-k2",
+            "s13207_like-c3-cumulative-k2",
+        ]
+        assert serial.cache_stats is not None
+        assert serial.cache_stats["stores"] > 0
+
+        # A rerun on the same cache computes nothing.
+        rerun = ExperimentRunner(jobs=1, cache_dir=tmp_path / "cache").run(
+            "sequential", profile=TINY, options=options
+        )
+        assert rerun.cache_stats["misses"] == 0
+        assert rerun.cache_stats["stores"] == 0
+
+        # Worker processes produce bit-identical cell results in grid order.
+        sharded = ExperimentRunner(jobs=2, cache_dir=tmp_path / "cache").run(
+            "sequential", profile=TINY, options=options
+        )
+        assert [outcome.name for outcome in sharded.outcomes] == [
+            outcome.name for outcome in serial.outcomes
+        ]
+        assert [outcome.result for outcome in sharded.outcomes] == [
+            outcome.result for outcome in serial.outcomes
+        ]
+
+    def test_sequential_rejects_combinational_design(self):
+        with pytest.raises(ValueError, match="combinational"):
+            run_experiment(
+                "sequential", profile=TINY, options={"designs": "c2670_like"}
+            )
+
     def test_run_wrappers_return_native_types(self):
         results = __import__("repro.experiments.figure2", fromlist=["run"]).run(
             design="c6288_like", profile=TINY
@@ -188,6 +227,26 @@ class TestCli:
 
         assert cli_main(["report", "transfer", "--results-dir", str(tmp_path)]) == 0
         assert "coverage" in capsys.readouterr().out
+
+    def test_cache_subcommand(self, tmp_path, capsys):
+        from repro.runner.cache import ArtifactCache, set_default_cache
+
+        # No cache configured anywhere -> usage hint, exit 1.
+        set_default_cache(None)
+        assert cli_main(["cache"]) == 1
+        assert "no artifact cache configured" in capsys.readouterr().out
+
+        # Configured but never written to -> informative no-op, exit 0.
+        assert cli_main(["cache", "--cache-dir", str(tmp_path / "nope")]) == 0
+        assert "does not exist yet" in capsys.readouterr().out
+
+        cache = ArtifactCache(tmp_path / "cache")
+        cache.store("rare_nets", [1, 2, 3], key="a")
+        cache.store("sequential_trojans", [], key="b")
+        assert cli_main(["cache", "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "rare_nets" in out and "sequential_trojans" in out
+        assert "grows" in out  # the unbounded-growth caveat is printed
 
     def test_report_without_runs(self, tmp_path, capsys):
         assert cli_main(["report", "--results-dir", str(tmp_path)]) == 1
