@@ -9,9 +9,10 @@ Subcommands:
 - ``deterrent report [<experiment>] [--results-dir DIR]`` — list saved runs,
   or re-print the stored report of one experiment.
 - ``deterrent cache [--cache-dir DIR]`` — inspect the artifact cache
-  (per-kind entry counts and sizes).  Entries are content-addressed and
-  never evicted, so the directory grows without bound; prune by deleting it
-  (a ``deterrent cache prune`` with real GC is a ROADMAP item).
+  (per-kind entry counts and sizes, zero-entry kinds included).
+- ``deterrent cache prune [--max-size MIB] [--max-age DAYS] [--kind K]
+  [--dry-run]`` — size/age-based eviction (oldest entries first; every
+  entry is recomputable) plus a sweep of stale temp/lock debris.
 
 Every run writes structured artifacts under ``--results-dir`` (default
 ``results/``): a JSONL stream with one record per grid cell, plus a final
@@ -88,11 +89,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect the artifact cache (entries, sizes, growth caveat)"
+        "cache", help="inspect or prune the artifact cache"
     )
     cache_parser.add_argument(
         "--cache-dir", default=None,
         help="cache directory to inspect (default: DETERRENT_CACHE_DIR)",
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command")
+    prune_parser = cache_sub.add_parser(
+        "prune", help="evict cache entries by size and/or age (oldest first)"
+    )
+    # Distinct dest: a subparser re-applies its own defaults over the parent
+    # namespace, so sharing dest="cache_dir" would silently discard a
+    # --cache-dir given before the subcommand; the two are merged in
+    # _command_cache_prune.
+    prune_parser.add_argument(
+        "--cache-dir", dest="prune_cache_dir", default=None,
+        help="cache directory to prune (default: DETERRENT_CACHE_DIR)",
+    )
+    prune_parser.add_argument(
+        "--max-size", type=float, default=None, metavar="MIB",
+        help="evict oldest entries until the cache (or, with --kind, the "
+             "selected kinds' subtotal) fits in MIB mebibytes",
+    )
+    prune_parser.add_argument(
+        "--max-age", type=float, default=None, metavar="DAYS",
+        help="evict entries not modified within DAYS days",
+    )
+    prune_parser.add_argument(
+        "--kind", action="append", default=None, metavar="NAME",
+        help="restrict eviction (and the --max-size budget) to one artifact "
+             "kind (repeatable)",
+    )
+    prune_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without deleting anything",
     )
     return parser
 
@@ -181,42 +212,115 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_cache(args: argparse.Namespace) -> int:
+def _resolve_cache(args: argparse.Namespace):
+    """The cache targeted by a ``cache`` subcommand, or None with a message."""
     from repro.runner.cache import CACHE_DIR_ENV, ArtifactCache, get_default_cache
 
     if args.cache_dir is not None:
-        cache = ArtifactCache(Path(args.cache_dir))
-    else:
-        cache = get_default_cache()
+        return ArtifactCache(Path(args.cache_dir))
+    cache = get_default_cache()
     if cache is None:
         print(
             "no artifact cache configured (pass --cache-dir or set "
             f"{CACHE_DIR_ENV})"
         )
+    return cache
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    if getattr(args, "cache_command", None) == "prune":
+        return _command_cache_prune(args)
+    cache = _resolve_cache(args)
+    if cache is None:
         return 1
     root = Path(cache.root)
-    if not root.is_dir():
+    if not root.exists():
         print(f"cache directory {root} does not exist yet (nothing cached)")
         return 0
-    rows = []
-    total_entries = 0
-    total_bytes = 0
-    for kind_dir in sorted(path for path in root.iterdir() if path.is_dir()):
-        entries = list(kind_dir.glob("*.pkl"))
-        size = sum(entry.stat().st_size for entry in entries)
-        rows.append([kind_dir.name, len(entries), f"{size / 1024:.1f} KiB"])
-        total_entries += len(entries)
-        total_bytes += size
-    if not rows:
+    if not root.is_dir():
+        print(f"error: cache path {root} is not a directory", file=sys.stderr)
+        return 2
+    # inventory() is tolerant of concurrent mutation and reports kinds with
+    # zero remaining entries (e.g. after a prune) instead of dropping them.
+    inventory = cache.inventory()
+    if not inventory:
         print(f"cache directory {root} is empty")
         return 0
+    rows = [
+        [kind, count, f"{size / 1024:.1f} KiB"]
+        for kind, (count, size) in sorted(inventory.items())
+    ]
+    total_entries = sum(count for count, _ in inventory.values())
+    total_bytes = sum(size for _, size in inventory.values())
     print(format_table(["Kind", "Entries", "Size"], rows))
     print(f"\n{total_entries} entries, {total_bytes / 1024:.1f} KiB under {root}")
     print(
-        "entries are content-addressed and never evicted; the directory grows "
-        "without bound.\nDelete it (or individual <kind>/ subdirectories) to "
-        "reclaim space — every entry\nis recomputable."
+        "entries are content-addressed and only evicted on request; run "
+        "'deterrent cache prune'\n(--max-size MIB / --max-age DAYS) to "
+        "reclaim space — every entry is recomputable."
     )
+    return 0
+
+
+def _command_cache_prune(args: argparse.Namespace) -> int:
+    if args.prune_cache_dir is not None:
+        args.cache_dir = args.prune_cache_dir
+    cache = _resolve_cache(args)
+    if cache is None:
+        return 1
+    root = Path(cache.root)
+    if not root.exists():
+        print(f"cache directory {root} does not exist yet (nothing to prune)")
+        return 0
+    if not root.is_dir():
+        print(f"error: cache path {root} is not a directory", file=sys.stderr)
+        return 2
+    if args.kind:
+        # Kinds are an open set (any store() caller can mint one), so a name
+        # without a directory is a legitimate empty no-op — but say so, in
+        # case it is a typo for one of the populated kinds.
+        known = sorted(cache.inventory())
+        missing = sorted(set(args.kind) - set(known))
+        if missing:
+            print(
+                f"warning: no entries for kind(s): {', '.join(missing)}"
+                + (f" (populated: {', '.join(known)})" if known else ""),
+                file=sys.stderr,
+            )
+    max_bytes = None
+    if args.max_size is not None:
+        if args.max_size < 0:
+            print("error: --max-size must be >= 0", file=sys.stderr)
+            return 2
+        max_bytes = int(args.max_size * 1024 * 1024)
+    max_age_seconds = None
+    if args.max_age is not None:
+        if args.max_age < 0:
+            print("error: --max-age must be >= 0", file=sys.stderr)
+            return 2
+        max_age_seconds = args.max_age * 86400.0
+    report = cache.prune(
+        max_bytes=max_bytes,
+        max_age_seconds=max_age_seconds,
+        kinds=args.kind,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {report.removed_entries} entries "
+        f"({report.removed_bytes / 1024:.1f} KiB), kept {report.kept_entries} "
+        f"({report.kept_bytes / 1024:.1f} KiB) under {root}"
+    )
+    for kind, count in sorted(report.removed_by_kind.items()):
+        print(f"  {kind}: {verb} {count}")
+    if report.removed_debris:
+        print(f"  debris: {verb} {report.removed_debris} stale temp/lock file(s)")
+    if max_bytes is None and max_age_seconds is None:
+        swept = "would be swept" if args.dry_run else "was swept"
+        print(
+            "no --max-size or --max-age given: entries were kept, only stale "
+            f"temp/lock debris {swept}"
+        )
     return 0
 
 

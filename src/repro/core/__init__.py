@@ -11,15 +11,23 @@ The flow mirrors Figure 4 of the paper:
    patterns with a SAT solver (:mod:`repro.core.patterns`).
 
 :class:`repro.core.pipeline.DeterrentPipeline` stitches the three stages
-together behind one call.
+together behind one call.  :mod:`repro.core.sequence_gen` mirrors the same
+pipeline on raw sequential netlists: temporal activatability pre-filter,
+greedy compatibility sets via joint unrolled justification, and SAT-guided
+multi-cycle test sequences.
 """
 
 from repro.core.config import DeterrentConfig
 from repro.core.compatibility import CompatibilityAnalysis
 from repro.core.environment import TriggerActivationEnv
 from repro.core.agent import DeterrentAgent
-from repro.core.patterns import PatternSet, generate_patterns
+from repro.core.patterns import PatternSet, SequenceSet, generate_patterns
 from repro.core.pipeline import DeterrentPipeline, DeterrentResult
+from repro.core.sequence_gen import (
+    SequentialCompatibility,
+    analyze_sequential_compatibility,
+    generate_sequences,
+)
 
 __all__ = [
     "DeterrentConfig",
@@ -27,7 +35,11 @@ __all__ = [
     "TriggerActivationEnv",
     "DeterrentAgent",
     "PatternSet",
+    "SequenceSet",
     "generate_patterns",
     "DeterrentPipeline",
     "DeterrentResult",
+    "SequentialCompatibility",
+    "analyze_sequential_compatibility",
+    "generate_sequences",
 ]

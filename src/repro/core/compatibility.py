@@ -23,7 +23,12 @@ import numpy as np
 
 from repro.circuits.netlist import Netlist
 from repro.runner.cache import ArtifactCache, get_default_cache, netlist_fingerprint
-from repro.runner.parallel import parallel_compatibility_matrix, serial_compatibility_matrix
+from repro.runner.parallel import (
+    parallel_activatability,
+    parallel_compatibility_matrix,
+    serial_activatability,
+    serial_compatibility_matrix,
+)
 from repro.sat.justify import Justifier
 from repro.simulation.rare_nets import RareNet
 
@@ -116,10 +121,10 @@ def compute_compatibility(
         netlist: combinational netlist to analyse.
         rare_nets: candidate rare nets (order defines matrix indexing of the
             activatable subset).
-        n_jobs: worker processes for the O(r²) pair queries.  ``1`` answers
-            everything on one incremental solver; ``> 1`` shards the pair
-            matrix across a process pool (bit-identical result); ``<= 0``
-            means one worker per CPU.
+        n_jobs: worker processes for the O(r) activatability pre-filter and
+            the O(r²) pair queries.  ``1`` answers everything on one
+            incremental solver; ``> 1`` shards both stages across a process
+            pool (bit-identical verdicts); ``<= 0`` means one worker per CPU.
         justifier: optional pre-built solver stack to reuse (also attached to
             the returned analysis for downstream witness generation).
         cache: artifact cache for memoising the result on disk; defaults to
@@ -147,13 +152,19 @@ def compute_compatibility(
     justifier = justifier or Justifier(netlist)
 
     def _build() -> dict:
-        activatable: list[RareNet] = []
-        unsatisfiable: list[RareNet] = []
-        for rare in rare_nets:
-            if justifier.is_satisfiable({rare.net: rare.rare_value}):
-                activatable.append(rare)
-            else:
-                unsatisfiable.append(rare)
+        # O(r) activatability pre-filter: sharded across workers like the
+        # pair queries when n_jobs > 1 (verdicts are exact SAT answers, so
+        # the sharded result is bit-identical to the serial one).  The two
+        # stages use separate pools because pair shards are defined over the
+        # *post-filter* subset; the duplicated per-worker init (bench parse +
+        # CNF encode) is milliseconds against the O(r²) solve time.
+        candidates = [(rare.net, rare.rare_value) for rare in rare_nets]
+        if n_jobs == 1 or len(rare_nets) < 2:
+            verdicts = serial_activatability(justifier, candidates)
+        else:
+            verdicts = parallel_activatability(netlist, candidates, n_jobs)
+        activatable = [rare for rare, ok in zip(rare_nets, verdicts) if ok]
+        unsatisfiable = [rare for rare, ok in zip(rare_nets, verdicts) if not ok]
 
         requirements = [(rare.net, rare.rare_value) for rare in activatable]
         if n_jobs == 1 or len(activatable) < 2:

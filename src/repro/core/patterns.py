@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.circuits.netlist import Netlist
 from repro.core.compatibility import CompatibilityAnalysis
-from repro.sat.justify import Justifier
+from repro.sat.justify import Justifier, greedy_maximal_subset
 from repro.utils.rng import RngLike, make_rng
 
 
@@ -160,6 +160,7 @@ def generate_patterns(
     compatibility: CompatibilityAnalysis,
     compatible_sets: list[frozenset[int]],
     technique: str = "DETERRENT",
+    n_jobs: int = 1,
 ) -> PatternSet:
     """Generate one test pattern per compatible set using the SAT solver.
 
@@ -169,7 +170,18 @@ def generate_patterns(
     value.  Sets that turn out not to be jointly satisfiable (possible when
     the environment only used the pairwise approximation) are repaired by
     greedily dropping their least-rare nets until a witness exists.
+
+    ``n_jobs > 1`` shards the per-set witness queries across worker
+    processes (:func:`repro.runner.parallel.parallel_pattern_witnesses`);
+    ``n_jobs=1`` is the reference serial path on the analysis's own
+    incremental solver.  Every path emits a valid witness per (repaired)
+    set, but the concrete patterns may differ between paths because worker
+    solvers start from fresh clause databases.
     """
+    if n_jobs != 1 and len(compatible_sets) > 1:
+        return _generate_patterns_sharded(
+            compatibility, compatible_sets, technique, n_jobs
+        )
     justifier = compatibility.justifier
     netlist = compatibility.netlist
     assignments: list[dict[str, int]] = []
@@ -191,6 +203,40 @@ def generate_patterns(
     )
 
 
+def _generate_patterns_sharded(
+    compatibility: CompatibilityAnalysis,
+    compatible_sets: list[frozenset[int]],
+    technique: str,
+    n_jobs: int,
+) -> PatternSet:
+    """The ``n_jobs > 1`` witness path: one requirement set per shard item."""
+    from repro.runner.parallel import parallel_pattern_witnesses
+
+    ordered_sets = [
+        tuple(
+            (compatibility.rare_nets[index].net, compatibility.rare_nets[index].rare_value)
+            for index in sorted(
+                indices, key=lambda i: compatibility.rare_nets[i].probability
+            )
+        )
+        for indices in compatible_sets
+    ]
+    results = parallel_pattern_witnesses(
+        compatibility.netlist,
+        ordered_sets,
+        n_jobs,
+        preferred_values=compatibility.justifier.preferred_values,
+    )
+    assignments = [witness for witness, _ in results if witness is not None]
+    realized_sizes = [realized for witness, realized in results if witness is not None]
+    return PatternSet.from_assignments(
+        compatibility.netlist,
+        assignments,
+        technique=technique,
+        metadata={"set_sizes": realized_sizes},
+    )
+
+
 def _repair_set(
     compatibility: CompatibilityAnalysis,
     justifier: Justifier,
@@ -200,14 +246,15 @@ def _repair_set(
 
     Nets are re-added greedily (rarest first), keeping each net only if the
     accumulated requirement set stays satisfiable.  This retains as many rare
-    nets as possible, unlike simply truncating the set.
+    nets as possible, unlike simply truncating the set.  The policy lives in
+    :func:`repro.sat.justify.greedy_maximal_subset`, shared with the sharded
+    pattern and sequence witness paths.
     """
     ordered = sorted(indices, key=lambda i: compatibility.rare_nets[i].probability)
-    kept: list[int] = []
-    for index in ordered:
-        candidate = kept + [index]
-        if justifier.is_satisfiable(compatibility.requirements(candidate)):
-            kept.append(index)
+    kept = greedy_maximal_subset(
+        ordered,
+        lambda candidate: justifier.is_satisfiable(compatibility.requirements(candidate)),
+    )
     if not kept:
         return None, {}
     requirements = compatibility.requirements(kept)

@@ -122,7 +122,11 @@ class DeterrentPipeline:
         stopwatch.lap("training")
 
         selected_sets = agent_result.largest_sets(config.k_patterns)
-        pattern_set = generate_patterns(compatibility, selected_sets, technique="DETERRENT")
+        # Like the pre-filter and pair queries, per-set witness generation
+        # shards across config.n_jobs workers (serial when n_jobs == 1).
+        pattern_set = generate_patterns(
+            compatibility, selected_sets, technique="DETERRENT", n_jobs=config.n_jobs
+        )
         stopwatch.lap("pattern_generation")
         stopwatch.stop()
 

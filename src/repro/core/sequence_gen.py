@@ -1,0 +1,359 @@
+"""SAT-guided sequence generation: the sequential analogue of the pattern pipeline.
+
+The combinational DETERRENT flow turns rare nets into test patterns in three
+steps: drop the nets that can never take their rare value (activatability
+pre-filter), group the rest into compatible sets, and justify each set into
+one SAT witness pattern.  This module mirrors that pipeline on the **raw
+sequential netlist**, where "compatible" and "justifiable" are questions
+about input *sequences* from reset rather than single patterns:
+
+1. **Temporal pre-filter** — a state-dependent rare net survives only if its
+   rare value is reachable under the grid cell's temporal rule
+   (:class:`~repro.sat.temporal.SequentialJustifier` on the unrolled
+   transition relation).  This is where the full-scan illusion dies: nets
+   whose rare value requires an unreachable state are provably dropped.
+2. **Greedy compatibility sets** — sets of rare nets that can *jointly* hold
+   their rare values under the temporal rule, built greedily (rarest-first,
+   then shuffled passes for diversity) with every candidate addition checked
+   by joint unrolled justification — exact, not the pairwise approximation.
+3. **Sequence witnesses** — each set's conjunction is justified as a
+   :class:`~repro.trojan.model.SequentialTrigger` and the SAT model is
+   decoded into a per-cycle input sequence.  Witnesses are replay-verified
+   through :class:`~repro.simulation.compiled.CompiledSequentialNetlist`
+   before they are emitted, and jointly-unsatisfiable sets (possible when a
+   caller passes hand-built sets) are repaired by greedily re-adding nets
+   rarest-first.
+
+The emitted :class:`~repro.core.patterns.SequenceSet` plays the same role as
+the combinational flow's :class:`~repro.core.patterns.PatternSet`: any
+sampled multi-cycle Trojan whose trigger nets all landed in one generated set
+provably fires on that set's witness sequence.  ``n_jobs > 1`` shards the
+per-set witness extraction across worker processes
+(:func:`repro.runner.parallel.parallel_sequence_witnesses`), with ``n_jobs=1``
+as the serial reference path on one incremental unrolled solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.core.patterns import SequenceSet
+from repro.sat.justify import greedy_maximal_subset
+from repro.sat.temporal import SequentialJustifier
+from repro.simulation.rare_nets import RareNet
+from repro.trojan.model import SequentialTrigger, TriggerCondition
+from repro.utils.rng import RngLike, make_rng
+
+OrderedRequirements = tuple[tuple[str, int], ...]
+
+
+@dataclass
+class SequentialCompatibility:
+    """Temporal-rule compatibility data for one sequential netlist.
+
+    Attributes:
+        netlist: the analysed (raw sequential) netlist.
+        cycles: unroll depth / sequence length of every justification query.
+        mode: temporal rule of the workload (``consecutive``/``cumulative``).
+        count: the rule's cycle count ``k``.
+        rare_nets: the temporally-activatable rare nets, rarest first (the
+            index order used by every set).
+        unreachable: rare nets whose rare value is provably not reachable
+            under the rule within ``cycles`` — dropped by the pre-filter.
+        justifier: the shared unrolled solver stack.
+    """
+
+    netlist: Netlist
+    cycles: int
+    mode: str
+    count: int
+    rare_nets: list[RareNet]
+    unreachable: list[RareNet]
+    justifier: SequentialJustifier
+
+    @property
+    def num_rare_nets(self) -> int:
+        """Number of temporally-activatable rare nets."""
+        return len(self.rare_nets)
+
+    def requirements(self, indices) -> dict[str, int]:
+        """Net -> rare-value mapping for a set of rare-net indices."""
+        return {
+            self.rare_nets[index].net: self.rare_nets[index].rare_value
+            for index in indices
+        }
+
+    def ordered_requirements(self, indices) -> OrderedRequirements:
+        """Rarest-first (net, value) tuple for a set of rare-net indices."""
+        return tuple(
+            (self.rare_nets[index].net, self.rare_nets[index].rare_value)
+            for index in sorted(indices)
+        )
+
+    def trigger(self, indices) -> SequentialTrigger:
+        """The set's conjunction under the analysis's temporal rule."""
+        return SequentialTrigger(
+            condition=TriggerCondition(self.ordered_requirements(indices)),
+            mode=self.mode,
+            count=self.count,
+        )
+
+    def set_is_satisfiable(self, indices) -> bool:
+        """Joint unrolled justification: can the whole set fire together?"""
+        if not indices:
+            return True
+        return self.justifier.is_satisfiable(self.trigger(indices), self.cycles)
+
+
+def temporal_activatability(
+    justifier: SequentialJustifier,
+    rare_nets: list[RareNet],
+    mode: str,
+    count: int,
+    cycles: int | None = None,
+) -> list[bool]:
+    """Per-net temporal pre-filter: is each rare value reachable under the rule?"""
+    verdicts: list[bool] = []
+    for rare in rare_nets:
+        trigger = SequentialTrigger(
+            condition=TriggerCondition(((rare.net, rare.rare_value),)),
+            mode=mode,
+            count=count,
+        )
+        verdicts.append(justifier.is_satisfiable(trigger, cycles))
+    return verdicts
+
+
+def analyze_sequential_compatibility(
+    netlist: Netlist,
+    rare_nets: list[RareNet],
+    cycles: int,
+    mode: str = "consecutive",
+    count: int = 1,
+    justifier: SequentialJustifier | None = None,
+    max_rare_nets: int | None = None,
+) -> SequentialCompatibility:
+    """Pre-filter ``rare_nets`` by temporal activatability at depth ``cycles``.
+
+    ``max_rare_nets`` optionally caps the candidates to the N rarest (the
+    extraction order), bounding solver work on large designs.  Use with
+    care: state-dependent extraction puts provably-unreachable nets
+    (estimated probability 0) at the front of the order, so an aggressive
+    cap can exclude every reachable net — the default considers all.
+    """
+    if not netlist.is_sequential:
+        raise ValueError(
+            f"sequential compatibility requires flip-flops; {netlist.name!r} is "
+            "combinational (use compute_compatibility)"
+        )
+    if cycles < 1:
+        raise ValueError(f"cycles must be >= 1, got {cycles}")
+    # Re-sort defensively into extraction order (rarest first) so the
+    # rarest-first guarantees of ordered_requirements / the greedy passes /
+    # the max_rare_nets cap hold even for callers that reordered or filtered
+    # the extraction output.
+    candidates = sorted(rare_nets, key=lambda rare: (rare.probability, rare.net))
+    if max_rare_nets is not None:
+        candidates = candidates[:max_rare_nets]
+    justifier = justifier or SequentialJustifier(netlist, cycles)
+    justifier.extend_to(cycles)
+    verdicts = temporal_activatability(justifier, candidates, mode, count, cycles)
+    return SequentialCompatibility(
+        netlist=netlist,
+        cycles=cycles,
+        mode=mode,
+        count=count,
+        rare_nets=[rare for rare, ok in zip(candidates, verdicts) if ok],
+        unreachable=[rare for rare, ok in zip(candidates, verdicts) if not ok],
+        justifier=justifier,
+    )
+
+
+def greedy_compatible_sets(
+    compatibility: SequentialCompatibility,
+    num_sets: int,
+    seed: RngLike = None,
+    max_set_size: int | None = None,
+    stall_limit: int = 8,
+) -> list[tuple[int, ...]]:
+    """Greedy maximal sets of jointly-justifiable rare nets (index tuples).
+
+    Mirrors the combinational flow's compatible-set construction with the
+    exact joint check in place of the pairwise dictionary: the first pass
+    scans rarest-first, further passes scan random permutations for
+    diversity, and every candidate addition must keep the accumulated
+    conjunction justifiable under the analysis's temporal rule.  Duplicate
+    maximal sets end a pass without yield; ``stall_limit`` consecutive
+    duplicate passes end the search early (the design has run out of
+    distinct maximal sets).
+    """
+    count = compatibility.num_rare_nets
+    if count == 0 or num_sets <= 0:
+        return []
+    rng = make_rng(seed)
+    sets: list[tuple[int, ...]] = []
+    seen: set[frozenset[int]] = set()
+    # Singletons passed the pre-filter, so they are satisfiable by definition.
+    verdicts: dict[frozenset[int], bool] = {
+        frozenset((index,)): True for index in range(count)
+    }
+    first_pass = True
+    stall = 0
+    while len(sets) < num_sets and stall < stall_limit:
+        if first_pass:
+            order = list(range(count))
+            first_pass = False
+        else:
+            order = [int(index) for index in rng.permutation(count)]
+        chosen: list[int] = []
+        for index in order:
+            if max_set_size is not None and len(chosen) >= max_set_size:
+                break
+            candidate = frozenset(chosen) | {index}
+            verdict = verdicts.get(candidate)
+            if verdict is None:
+                verdict = compatibility.set_is_satisfiable(sorted(candidate))
+                verdicts[candidate] = verdict
+            if verdict:
+                chosen.append(index)
+        key = frozenset(chosen)
+        if chosen and key not in seen:
+            seen.add(key)
+            sets.append(tuple(sorted(chosen)))
+            stall = 0
+        else:
+            stall += 1
+    return sets
+
+
+def sequence_witness_with_repair(
+    justifier: SequentialJustifier,
+    ordered_requirements: OrderedRequirements,
+    mode: str,
+    count: int,
+    cycles: int | None = None,
+) -> tuple[np.ndarray | None, int, int]:
+    """Witness one requirement set under (mode, count), repairing if needed.
+
+    ``ordered_requirements`` must be rarest-first: when the full conjunction
+    cannot fire, nets are re-added greedily in that order, keeping each only
+    while the accumulated conjunction stays justifiable — the sequential
+    instantiation of :func:`repro.sat.justify.greedy_maximal_subset`, the
+    same policy the combinational repair paths use.  Returns
+    ``(sequence or None, first fire cycle or -1, requirements realised)``.
+    """
+
+    def _trigger(requirements: OrderedRequirements) -> SequentialTrigger:
+        return SequentialTrigger(
+            condition=TriggerCondition(requirements), mode=mode, count=count
+        )
+
+    witness = justifier.witness(_trigger(ordered_requirements), cycles)
+    realized = len(ordered_requirements)
+    if witness is None:
+        kept = greedy_maximal_subset(
+            list(ordered_requirements),
+            lambda candidate: justifier.is_satisfiable(_trigger(tuple(candidate)), cycles),
+        )
+        if not kept:
+            return None, -1, 0
+        witness = justifier.witness(_trigger(tuple(kept)), cycles)
+        if witness is None:  # pragma: no cover - kept sets are satisfiable
+            return None, -1, 0
+        realized = len(kept)
+    return witness.sequence, witness.fire_cycle, realized
+
+
+def generate_sequences(
+    netlist: Netlist,
+    rare_nets: list[RareNet],
+    cycles: int,
+    mode: str = "consecutive",
+    count: int = 2,
+    num_sequences: int = 16,
+    seed: RngLike = None,
+    justifier: SequentialJustifier | None = None,
+    max_rare_nets: int | None = None,
+    n_jobs: int = 1,
+    technique: str = "SAT-guided",
+) -> SequenceSet:
+    """Generate SAT-guided test sequences from state-dependent rare nets.
+
+    The full sequential pipeline: temporal pre-filter, greedy joint
+    compatibility sets (at most ``num_sequences`` distinct sets — the
+    sequence budget), and one replay-verified witness sequence per set.
+    Every emitted sequence provably drives its whole set's rare-value
+    conjunction to fire under (``mode``, ``count``) within ``cycles`` clock
+    cycles from reset, so any sampled Trojan whose trigger nets are a subset
+    of one set is covered by construction.
+    """
+    inputs = netlist.inputs
+    compatibility = analyze_sequential_compatibility(
+        netlist, rare_nets, cycles, mode, count,
+        justifier=justifier, max_rare_nets=max_rare_nets,
+    )
+    metadata = {
+        "cycles": cycles,
+        "mode": mode,
+        "count": count,
+        "num_rare_nets": len(rare_nets),
+        "num_activatable": compatibility.num_rare_nets,
+        "sets": [],
+        "set_sizes": [],
+        "fire_cycles": [],
+    }
+    empty = np.zeros((0, cycles, len(inputs)), dtype=np.uint8)
+    if compatibility.num_rare_nets == 0:
+        return SequenceSet(
+            inputs=inputs, sequences=empty, technique=technique, metadata=metadata
+        )
+    preferred = {
+        rare.net: rare.rare_value for rare in compatibility.rare_nets
+    }
+    compatibility.justifier.set_preferred_values(preferred)
+    sets = greedy_compatible_sets(compatibility, num_sequences, seed=seed)
+    ordered_sets = [compatibility.ordered_requirements(indices) for indices in sets]
+    if n_jobs != 1 and len(ordered_sets) > 1:
+        from repro.runner.parallel import parallel_sequence_witnesses
+
+        results = parallel_sequence_witnesses(
+            netlist, ordered_sets, cycles, mode, count, n_jobs,
+            preferred_values=preferred,
+            # Workers must unroll from the same machine state the sets were
+            # analysed from (a caller-supplied justifier may not be at reset).
+            initial_state=compatibility.justifier.initial_state,
+        )
+    else:
+        results = [
+            sequence_witness_with_repair(
+                compatibility.justifier, ordered, mode, count, cycles
+            )
+            for ordered in ordered_sets
+        ]
+    sequences: list[np.ndarray] = []
+    for ordered, (sequence, fire_cycle, realized) in zip(ordered_sets, results):
+        if sequence is None:
+            continue
+        sequences.append(np.asarray(sequence, dtype=np.uint8))
+        # The *requested* set; on a repaired set only ``realized`` of its
+        # requirements are guaranteed to hold (greedy rarest-first repair).
+        metadata["sets"].append(ordered)
+        metadata["set_sizes"].append(realized)
+        metadata["fire_cycles"].append(int(fire_cycle))
+    array = np.stack(sequences) if sequences else empty
+    return SequenceSet(
+        inputs=inputs, sequences=array, technique=technique, metadata=metadata
+    )
+
+
+__all__ = [
+    "SequentialCompatibility",
+    "analyze_sequential_compatibility",
+    "generate_sequences",
+    "greedy_compatible_sets",
+    "sequence_witness_with_repair",
+    "temporal_activatability",
+]

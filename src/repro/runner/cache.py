@@ -21,10 +21,12 @@ canonicalises before hashing (keys sorted, dataclasses reduced to tagged
 dicts, tuples and lists identified, nested netlists fingerprinted), so two
 call sites that build the same logical key — e.g. the compute path in
 ``prepare_benchmark`` and the write-through path in ``_write_through`` —
-address the same file even across processes, sessions, and machines.  The
-flip side: entries are immutable and *never evicted*; key construction is
-append-only (renaming a key part orphans old entries rather than corrupting
-them).  ``deterrent cache`` reports per-kind growth.
+address the same file even across processes, sessions, and machines.  Key
+construction is append-only (renaming a key part orphans old entries rather
+than corrupting them).  Entries are immutable and never evicted implicitly;
+``deterrent cache`` reports per-kind growth and ``deterrent cache prune``
+(:meth:`ArtifactCache.prune`) applies explicit size/age-based eviction —
+oldest entries first, every entry recomputable by construction.
 
 Loads are corruption tolerant: any failure to read or unpickle an entry is
 treated as a miss (the offending file is removed) and the artifact is simply
@@ -45,6 +47,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, is_dataclass, asdict
 from pathlib import Path
@@ -60,6 +63,10 @@ from repro.circuits.netlist import Netlist
 
 #: Environment variable that enables the default cache when set.
 CACHE_DIR_ENV = "DETERRENT_CACHE_DIR"
+
+#: Temp/lock files younger than this are treated as live (a writer inside
+#: ``store`` or a single-flight build holding its lock) and never swept.
+DEBRIS_MIN_AGE_SECONDS = 3600.0
 
 _FINGERPRINT_MEMO_KEY = "runner.cache.netlist_fingerprint"
 
@@ -118,6 +125,41 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+        }
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored artifact file: its kind, path, size, and modification time."""
+
+    kind: str
+    path: Path
+    size: int
+    mtime: float
+
+
+@dataclass
+class PruneReport:
+    """Outcome of one :meth:`ArtifactCache.prune` pass."""
+
+    removed_entries: int = 0
+    removed_bytes: int = 0
+    kept_entries: int = 0
+    kept_bytes: int = 0
+    removed_debris: int = 0
+    removed_by_kind: dict[str, int] = field(default_factory=dict)
+    dry_run: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view for callers that log or serialise prune outcomes."""
+        return {
+            "removed_entries": self.removed_entries,
+            "removed_bytes": self.removed_bytes,
+            "kept_entries": self.kept_entries,
+            "kept_bytes": self.kept_bytes,
+            "removed_debris": self.removed_debris,
+            "removed_by_kind": dict(self.removed_by_kind),
+            "dry_run": self.dry_run,
         }
 
 
@@ -202,6 +244,164 @@ class ArtifactCache:
                 self.store(kind, artifact, **key_parts)
         return artifact
 
+    # ------------------------------------------------------------------
+    # Inspection and eviction
+    # ------------------------------------------------------------------
+    def entries(self, kinds: list[str] | None = None) -> list[CacheEntry]:
+        """All stored artifact files (optionally restricted to some kinds).
+
+        Tolerant of concurrent mutation: entries that disappear between
+        listing and ``stat`` are simply skipped, never raised.
+        """
+        found: list[CacheEntry] = []
+        for kind, kind_dir in self._kind_dirs(kinds):
+            for path in sorted(kind_dir.glob("*.pkl")):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                found.append(
+                    CacheEntry(kind=kind, path=path, size=stat.st_size, mtime=stat.st_mtime)
+                )
+        return found
+
+    def inventory(self) -> dict[str, tuple[int, int]]:
+        """Per-kind ``(entry count, total bytes)``, including zero-entry kinds.
+
+        A kind directory that holds no ``.pkl`` entries (only lock files, or
+        nothing after a prune) is reported as ``(0, 0)`` rather than
+        omitted, so consumers see a consistent kind list across runs.
+        """
+        summary: dict[str, tuple[int, int]] = {
+            kind: (0, 0) for kind, _ in self._kind_dirs(None)
+        }
+        for entry in self.entries():
+            count, size = summary.get(entry.kind, (0, 0))
+            summary[entry.kind] = (count + 1, size + entry.size)
+        return summary
+
+    def prune(
+        self,
+        max_bytes: int | None = None,
+        max_age_seconds: float | None = None,
+        kinds: list[str] | None = None,
+        dry_run: bool = False,
+        now: float | None = None,
+    ) -> PruneReport:
+        """Evict entries by age and/or total size (oldest first); sweep debris.
+
+        Eviction policy: entries older than ``max_age_seconds`` are removed
+        first; if the surviving total still exceeds ``max_bytes``, the
+        oldest remaining entries go until the total fits.  With ``kinds``
+        both rules — including the ``max_bytes`` budget — apply to the
+        selected kinds' entries only; other kinds are untouched and do not
+        count against the budget.  Every entry is
+        recomputable by construction, so eviction can never lose
+        information — only warm-start time.  Writer temp files and orphaned
+        build-lock files are swept once older than
+        :data:`DEBRIS_MIN_AGE_SECONDS` (younger ones may belong to live
+        concurrent workers).  With ``dry_run`` the report is computed but
+        nothing is deleted.
+        """
+        if now is None:
+            now = time.time()
+        report = PruneReport(dry_run=dry_run)
+        survivors: list[CacheEntry] = []
+        doomed: list[CacheEntry] = []
+        for entry in self.entries(kinds):
+            too_old = (
+                max_age_seconds is not None and now - entry.mtime >= max_age_seconds
+            )
+            (doomed if too_old else survivors).append(entry)
+        if max_bytes is not None:
+            survivors.sort(key=lambda entry: entry.mtime)
+            total = sum(entry.size for entry in survivors)
+            cut = 0
+            while cut < len(survivors) and total > max_bytes:
+                total -= survivors[cut].size
+                cut += 1
+            doomed.extend(survivors[:cut])
+            survivors = survivors[cut:]
+        removed_paths: set[Path] = set()
+        for entry in doomed:
+            if not dry_run:
+                try:
+                    entry.path.unlink()
+                except OSError:
+                    # Undeletable entry: it survives, so account for it as
+                    # kept and leave its lock alone in the debris sweep.
+                    survivors.append(entry)
+                    continue
+            removed_paths.add(entry.path)
+            report.removed_entries += 1
+            report.removed_bytes += entry.size
+            report.removed_by_kind[entry.kind] = (
+                report.removed_by_kind.get(entry.kind, 0) + 1
+            )
+        report.kept_entries = len(survivors)
+        report.kept_bytes = sum(entry.size for entry in survivors)
+        report.removed_debris = self._sweep_debris(
+            kinds,
+            dry_run=dry_run,
+            now=now,
+            doomed_paths=removed_paths,
+        )
+        return report
+
+    def _kind_dirs(self, kinds: list[str] | None) -> list[tuple[str, Path]]:
+        """(kind, directory) pairs under the root, tolerant of a missing root."""
+        root = Path(self.root)
+        try:
+            children = sorted(path for path in root.iterdir() if path.is_dir())
+        except OSError:
+            return []
+        return [
+            (path.name, path)
+            for path in children
+            if kinds is None or path.name in kinds
+        ]
+
+    def _sweep_debris(
+        self,
+        kinds: list[str] | None,
+        dry_run: bool,
+        now: float,
+        doomed_paths: set[Path] | None = None,
+    ) -> int:
+        """Remove stale writer temp files and orphaned build locks.
+
+        Honours the caller's ``kinds`` restriction, and only files older
+        than :data:`DEBRIS_MIN_AGE_SECONDS` are touched: a young ``.tmp``
+        may be a live writer mid-``store`` and a young orphan ``.lock`` may
+        guard a first single-flight build in progress — deleting either
+        would break the concurrent workers the cache explicitly supports.
+        ``doomed_paths`` names entries the surrounding prune pass removes
+        (or, on a dry run, *would* remove), so a lock whose entry is doomed
+        counts as orphaned and dry-run reports match real runs.
+        """
+        doomed_paths = doomed_paths or set()
+        removed = 0
+        for _, kind_dir in self._kind_dirs(kinds):
+            candidates = list(kind_dir.glob("*.tmp")) + [
+                lock for lock in kind_dir.glob("*.lock")
+                if not lock.with_suffix(".pkl").exists()
+                or lock.with_suffix(".pkl") in doomed_paths
+            ]
+            for stale in candidates:
+                try:
+                    age = now - stale.stat().st_mtime
+                except OSError:
+                    continue
+                if age < DEBRIS_MIN_AGE_SECONDS:
+                    continue  # possibly live: a writer or an in-flight build
+                if not dry_run:
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        continue
+                removed += 1
+        return removed
+
 
 @contextmanager
 def _build_lock(artifact_path: Path):
@@ -244,7 +444,9 @@ def get_default_cache() -> ArtifactCache | None:
 __all__ = [
     "CACHE_DIR_ENV",
     "ArtifactCache",
+    "CacheEntry",
     "CacheStats",
+    "PruneReport",
     "config_fingerprint",
     "get_default_cache",
     "netlist_fingerprint",

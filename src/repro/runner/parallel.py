@@ -1,4 +1,4 @@
-"""Process-sharded pairwise-compatibility computation (paper §3.3).
+"""Process-sharded SAT workloads: pair queries, pre-filters, witnesses.
 
 DETERRENT precomputes the O(r²) rare-net compatibility dictionary before
 training and parallelises it over 64 processes.  This module reproduces that
@@ -7,6 +7,24 @@ shards, each worker process owns its **own** incremental SAT stack
 (:class:`~repro.sat.justify.Justifier` over a private
 :class:`~repro.sat.solver.CdclSolver`) built from the shared circuit
 encoding, and the parent assembles the boolean matrix from the shard results.
+
+The same sharding discipline covers the other serial SAT stages of the flow:
+
+- the O(r) **activatability pre-filter** (is each rare net individually
+  justifiable?) — exact verdicts, so the sharded result is bit-identical to
+  :func:`serial_activatability`;
+- **per-set witness generation** (one SAT witness per compatible set,
+  including the greedy repair of jointly-unsatisfiable sets) — valid
+  witnesses on every path, though the concrete model may differ from the
+  serial path because each worker solves on a fresh clause database (the same
+  caveat :func:`repro.core.compatibility.compute_compatibility` documents);
+- **sequence witnesses** on the unrolled transition relation
+  (:class:`~repro.sat.temporal.SequentialJustifier`), used by the
+  sequence-aware generation pipeline in :mod:`repro.core.sequence_gen`.
+
+All of them keep the ``n_jobs=1`` fallback contract: the serial path is the
+reference implementation, runs on the caller's own (incremental) solver
+stack, and is what every sharded path's verdicts are tested against.
 
 Two properties matter:
 
@@ -51,7 +69,7 @@ import numpy as np
 
 from repro.circuits.bench_io import dumps_bench, loads_bench
 from repro.circuits.netlist import Netlist
-from repro.sat.justify import Justifier
+from repro.sat.justify import Justifier, greedy_maximal_subset
 
 #: Shards submitted per worker; >1 smooths load imbalance between shards.
 OVERSUBSCRIPTION = 4
@@ -96,6 +114,35 @@ def make_shards(num_items: int, n_shards: int, base_seed: int = 0) -> list[Compa
             position += 1
     return [
         CompatibilityShard(index=index, seed=base_seed + 7919 * index, pairs=tuple(bucket))
+        for index, bucket in enumerate(buckets)
+        if bucket
+    ]
+
+
+@dataclass(frozen=True)
+class WorkShard:
+    """One worker-sized slice of an indexed item list (pre-filter / witnesses).
+
+    Follows the exact shard→seed determinism contract of
+    :class:`CompatibilityShard`: items are dealt round-robin in index order,
+    ``seed == base_seed + 7919 * index``, and empty shards are dropped after
+    identities are assigned.
+    """
+
+    index: int
+    seed: int
+    items: tuple[int, ...]
+
+
+def make_item_shards(num_items: int, n_shards: int, base_seed: int = 0) -> list[WorkShard]:
+    """Split ``num_items`` indexed items into deterministic round-robin shards."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    buckets: list[list[int]] = [[] for _ in range(n_shards)]
+    for item in range(num_items):
+        buckets[item % n_shards].append(item)
+    return [
+        WorkShard(index=index, seed=base_seed + 7919 * index, items=tuple(bucket))
         for index, bucket in enumerate(buckets)
         if bucket
     ]
@@ -186,11 +233,264 @@ def parallel_compatibility_matrix(
     return matrix
 
 
+# ----------------------------------------------------------------------
+# Activatability pre-filter (the O(r) stage before the O(r²) pair queries)
+# ----------------------------------------------------------------------
+def serial_activatability(
+    justifier: Justifier, requirements: list[Requirement]
+) -> list[bool]:
+    """Reference single-solver pre-filter (the ``n_jobs=1`` path).
+
+    ``verdicts[i]`` is True iff requirement ``i`` is individually justifiable
+    — i.e. the rare net can take its rare value at all.
+    """
+    return [justifier.is_satisfiable({net: value}) for net, value in requirements]
+
+
+def _run_activatability_shard(shard: WorkShard) -> list[tuple[int, bool]]:
+    """Answer one shard of single-net justifiability queries."""
+    assert _WORKER_JUSTIFIER is not None, "worker initializer did not run"
+    results: list[tuple[int, bool]] = []
+    for item in shard.items:
+        net, value = _WORKER_REQUIREMENTS[item]
+        results.append((item, _WORKER_JUSTIFIER.is_satisfiable({net: value})))
+    return results
+
+
+def parallel_activatability(
+    netlist: Netlist,
+    requirements: list[Requirement],
+    n_jobs: int,
+    base_seed: int = 0,
+) -> list[bool]:
+    """Shard the activatability pre-filter across worker processes.
+
+    Verdicts are exact SAT answers, so the result is bit-identical to
+    :func:`serial_activatability` regardless of shard count.
+    """
+    n_jobs = resolve_jobs(n_jobs)
+    if not requirements:
+        return []
+    shards = make_item_shards(
+        len(requirements), n_jobs * OVERSUBSCRIPTION, base_seed=base_seed
+    )
+    verdicts = [False] * len(requirements)
+    bench_text = dumps_bench(netlist)
+    with ProcessPoolExecutor(
+        max_workers=min(n_jobs, len(shards)),
+        initializer=_init_compat_worker,
+        initargs=(list(sys.path), bench_text, netlist.name, list(requirements)),
+    ) as pool:
+        for shard_result in pool.map(_run_activatability_shard, shards):
+            for item, verdict in shard_result:
+                verdicts[item] = verdict
+    return verdicts
+
+
+# ----------------------------------------------------------------------
+# Per-set witness generation (combinational patterns)
+# ----------------------------------------------------------------------
+OrderedRequirements = tuple[Requirement, ...]
+
+_WITNESS_SETS: list[OrderedRequirements] = []
+
+
+def _witness_with_repair(
+    justifier: Justifier, ordered_requirements: OrderedRequirements
+) -> tuple[dict[str, int] | None, int]:
+    """Witness one requirement set, greedily repairing unsatisfiable sets.
+
+    ``ordered_requirements`` must be sorted rarest-first: when the full set
+    has no witness, nets are re-added greedily in that order, keeping each
+    only while the accumulated set stays satisfiable — the shared policy of
+    :func:`repro.sat.justify.greedy_maximal_subset`, same as the serial
+    ``_repair_set`` in :mod:`repro.core.patterns`.  Returns ``(witness or
+    None, number of requirements realised)``.
+    """
+    requirements = dict(ordered_requirements)
+    witness = justifier.witness(requirements)
+    if witness is not None:
+        return witness, len(requirements)
+    kept = greedy_maximal_subset(
+        list(ordered_requirements),
+        lambda candidate: justifier.is_satisfiable(dict(candidate)),
+    )
+    if not kept:
+        return None, 0
+    return justifier.witness(dict(kept)), len(kept)
+
+
+def _init_witness_worker(
+    search_paths: list[str],
+    bench_text: str,
+    name: str,
+    ordered_sets: list[OrderedRequirements],
+    preferred_values: dict[str, int],
+) -> None:
+    """Build this worker's solver stack plus the shared witness work list."""
+    global _WORKER_JUSTIFIER, _WITNESS_SETS
+    for path in search_paths:
+        if path not in sys.path:
+            sys.path.append(path)
+    _WORKER_JUSTIFIER = Justifier(
+        loads_bench(bench_text, name=name),
+        preferred_values=preferred_values or None,
+    )
+    _WITNESS_SETS = ordered_sets
+
+
+def _run_witness_shard(
+    shard: WorkShard,
+) -> list[tuple[int, dict[str, int] | None, int]]:
+    """Generate the witnesses of one shard of requirement sets."""
+    assert _WORKER_JUSTIFIER is not None, "worker initializer did not run"
+    results: list[tuple[int, dict[str, int] | None, int]] = []
+    for item in shard.items:
+        witness, realized = _witness_with_repair(_WORKER_JUSTIFIER, _WITNESS_SETS[item])
+        results.append((item, witness, realized))
+    return results
+
+
+def parallel_pattern_witnesses(
+    netlist: Netlist,
+    ordered_sets: list[OrderedRequirements],
+    n_jobs: int,
+    preferred_values: dict[str, int] | None = None,
+    base_seed: int = 0,
+) -> list[tuple[dict[str, int] | None, int]]:
+    """Generate one SAT witness per requirement set across worker processes.
+
+    Every returned witness is a valid input pattern for its (possibly
+    repaired) set; the concrete model may differ from the serial path's
+    because workers solve on fresh clause databases (see the module
+    docstring).  Result order matches ``ordered_sets``.
+    """
+    n_jobs = resolve_jobs(n_jobs)
+    if not ordered_sets:
+        return []
+    shards = make_item_shards(
+        len(ordered_sets), n_jobs * OVERSUBSCRIPTION, base_seed=base_seed
+    )
+    witnesses: list[tuple[dict[str, int] | None, int]] = [(None, 0)] * len(ordered_sets)
+    bench_text = dumps_bench(netlist)
+    with ProcessPoolExecutor(
+        max_workers=min(n_jobs, len(shards)),
+        initializer=_init_witness_worker,
+        initargs=(
+            list(sys.path), bench_text, netlist.name,
+            list(ordered_sets), dict(preferred_values or {}),
+        ),
+    ) as pool:
+        for shard_result in pool.map(_run_witness_shard, shards):
+            for item, witness, realized in shard_result:
+                witnesses[item] = (witness, realized)
+    return witnesses
+
+
+# ----------------------------------------------------------------------
+# Per-set sequence witnesses (temporal SAT, repro.core.sequence_gen)
+# ----------------------------------------------------------------------
+_SEQUENCE_JUSTIFIER = None
+_SEQUENCE_SETS: list[OrderedRequirements] = []
+_SEQUENCE_RULE: tuple[str, int] = ("consecutive", 1)
+
+
+def _init_sequence_worker(
+    search_paths: list[str],
+    bench_text: str,
+    name: str,
+    cycles: int,
+    mode: str,
+    count: int,
+    ordered_sets: list[OrderedRequirements],
+    preferred_values: dict[str, int],
+    initial_state: dict[str, int] | None,
+) -> None:
+    """Build this worker's unrolled solver stack for sequence witnesses."""
+    global _SEQUENCE_JUSTIFIER, _SEQUENCE_SETS, _SEQUENCE_RULE
+    for path in search_paths:
+        if path not in sys.path:
+            sys.path.append(path)
+    from repro.sat.temporal import SequentialJustifier
+
+    justifier = SequentialJustifier(
+        loads_bench(bench_text, name=name), cycles, initial_state=initial_state
+    )
+    if preferred_values:
+        justifier.set_preferred_values(preferred_values)
+    _SEQUENCE_JUSTIFIER = justifier
+    _SEQUENCE_SETS = ordered_sets
+    _SEQUENCE_RULE = (mode, count)
+
+
+def _run_sequence_shard(shard: WorkShard) -> list[tuple[int, object, int, int]]:
+    """Generate the sequence witnesses of one shard of requirement sets."""
+    assert _SEQUENCE_JUSTIFIER is not None, "worker initializer did not run"
+    from repro.core.sequence_gen import sequence_witness_with_repair
+
+    mode, count = _SEQUENCE_RULE
+    results: list[tuple[int, object, int, int]] = []
+    for item in shard.items:
+        sequence, fire_cycle, realized = sequence_witness_with_repair(
+            _SEQUENCE_JUSTIFIER, _SEQUENCE_SETS[item], mode, count
+        )
+        results.append((item, sequence, fire_cycle, realized))
+    return results
+
+
+def parallel_sequence_witnesses(
+    netlist: Netlist,
+    ordered_sets: list[OrderedRequirements],
+    cycles: int,
+    mode: str,
+    count: int,
+    n_jobs: int,
+    preferred_values: dict[str, int] | None = None,
+    initial_state: dict[str, int] | None = None,
+    base_seed: int = 0,
+) -> list[tuple[object, int, int]]:
+    """Generate one replay-verified sequence witness per set across workers.
+
+    The sequential counterpart of :func:`parallel_pattern_witnesses`; result
+    order matches ``ordered_sets`` and each entry is ``(sequence or None,
+    first fire cycle or -1, number of requirements realised)``.
+    ``initial_state`` must match the state the sets were analysed from, so
+    worker unrolls justify from the same machine as the caller's.
+    """
+    n_jobs = resolve_jobs(n_jobs)
+    if not ordered_sets:
+        return []
+    shards = make_item_shards(
+        len(ordered_sets), n_jobs * OVERSUBSCRIPTION, base_seed=base_seed
+    )
+    witnesses: list[tuple[object, int, int]] = [(None, -1, 0)] * len(ordered_sets)
+    bench_text = dumps_bench(netlist)
+    with ProcessPoolExecutor(
+        max_workers=min(n_jobs, len(shards)),
+        initializer=_init_sequence_worker,
+        initargs=(
+            list(sys.path), bench_text, netlist.name, cycles, mode, count,
+            list(ordered_sets), dict(preferred_values or {}),
+            dict(initial_state) if initial_state else None,
+        ),
+    ) as pool:
+        for shard_result in pool.map(_run_sequence_shard, shards):
+            for item, sequence, fire_cycle, realized in shard_result:
+                witnesses[item] = (sequence, fire_cycle, realized)
+    return witnesses
+
+
 __all__ = [
     "OVERSUBSCRIPTION",
     "CompatibilityShard",
+    "WorkShard",
+    "make_item_shards",
     "make_shards",
+    "parallel_activatability",
     "parallel_compatibility_matrix",
+    "parallel_pattern_witnesses",
+    "parallel_sequence_witnesses",
     "resolve_jobs",
+    "serial_activatability",
     "serial_compatibility_matrix",
 ]

@@ -82,7 +82,7 @@ def all_experiments() -> tuple[ExperimentSpec, ...]:
     return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
 
 
-#: The eleven experiment harnesses of the reproduction.
+#: The twelve experiment harnesses of the reproduction.
 SPECS = tuple(
     register(spec)
     for spec in (
@@ -152,6 +152,14 @@ SPECS = tuple(
             title="Sequential workload: multi-cycle trigger coverage",
             description="Raw sequential netlists, state-dependent rare nets, "
                         "counter/shift-register triggers across cycle depths.",
+        ),
+        ExperimentSpec(
+            name="sequential_detect",
+            module="repro.experiments.sequential_detect",
+            title="SAT-guided sequential detection vs random sequences",
+            description="Temporal justification on the unrolled transition "
+                        "relation: SAT-guided sequence sets against the "
+                        "random baseline at equal budget.",
         ),
     )
 )

@@ -3,13 +3,25 @@
 The paper uses the PicoSAT solver (via ``pycosat``) for two tasks: checking
 whether a set of rare nets is *compatible* (can simultaneously take their rare
 values) and generating an input pattern that witnesses a compatible set.  This
-subpackage provides both capabilities on top of a from-scratch CDCL solver.
+subpackage provides both capabilities on top of a from-scratch CDCL solver,
+and extends them across clock cycles: :class:`TimeFrameExpansion` unrolls a
+sequential netlist's transition relation k cycles into one incrementally
+extendable CNF, and :class:`SequentialJustifier` justifies multi-cycle
+(consecutive / cumulative count-k) triggers on it, extracting replay-verified
+witness sequences.
 """
 
 from repro.sat.cnf import CNF, Literal
 from repro.sat.solver import CdclSolver, SolverResult
 from repro.sat.encode import CircuitEncoder
 from repro.sat.justify import Justifier
+from repro.sat.unroll import TimeFrameExpansion
+from repro.sat.temporal import (
+    SequenceWitness,
+    SequentialJustifier,
+    replay_fire_cycles,
+    temporal_fire_cycles,
+)
 
 __all__ = [
     "CNF",
@@ -18,4 +30,9 @@ __all__ = [
     "SolverResult",
     "CircuitEncoder",
     "Justifier",
+    "TimeFrameExpansion",
+    "SequenceWitness",
+    "SequentialJustifier",
+    "replay_fire_cycles",
+    "temporal_fire_cycles",
 ]

@@ -30,6 +30,7 @@ class Justifier:
         self._solver = CdclSolver(self.encoder.cnf)
         self.num_queries = 0
         self._preferred_phases: dict[int, bool] = {}
+        self.preferred_values: dict[str, int] = {}
         if preferred_values:
             self.set_preferred_values(preferred_values)
 
@@ -44,6 +45,9 @@ class Justifier:
         self._preferred_phases = {
             self.encoder.variable(net): bool(value) for net, value in preferred_values.items()
         }
+        # Keep the net-level mapping so worker processes can replicate the
+        # bias on their own solver stacks (see runner/parallel.py).
+        self.preferred_values = {net: int(value) for net, value in preferred_values.items()}
 
     # ------------------------------------------------------------------
     # Queries
@@ -84,4 +88,22 @@ class Justifier:
         return self.is_satisfiable(merged)
 
 
-__all__ = ["Justifier"]
+def greedy_maximal_subset(items, accumulated_satisfiable):
+    """Greedily keep items whose accumulated set stays satisfiable.
+
+    The single repair policy shared by every witness path: items are scanned
+    in the given order (callers pass them rarest-first) and item ``i`` is
+    kept iff ``accumulated_satisfiable(kept + [i])`` holds.  The predicate
+    receives the full candidate list each time, so callers decide how a
+    candidate set maps to a SAT query (requirement dict, temporal trigger,
+    ...), and the kept order — hence the query sequence — is identical
+    across the serial and sharded paths.
+    """
+    kept: list = []
+    for item in items:
+        if accumulated_satisfiable(kept + [item]):
+            kept.append(item)
+    return kept
+
+
+__all__ = ["Justifier", "greedy_maximal_subset"]

@@ -104,6 +104,18 @@ class CdclSolver:
         self._watch(clause[0], index)
         self._watch(clause[1], index)
 
+    def reserve_vars(self, num_vars: int) -> None:
+        """Grow the variable space to at least ``num_vars`` (idempotent).
+
+        Callers that allocate variables externally — e.g. the time-frame
+        expansion handing out per-frame blocks and temporal auxiliary
+        variables — must reserve them before using them in assumptions or
+        :meth:`set_phases`; :meth:`add_clause` grows the space implicitly.
+        """
+        if num_vars < 0:
+            raise ValueError(f"num_vars must be >= 0, got {num_vars}")
+        self._ensure_vars(num_vars)
+
     def set_phases(self, phases: dict[int, bool]) -> None:
         """Set the preferred decision phase of selected variables.
 

@@ -95,6 +95,151 @@ class TestArtifactCache:
         assert len(calls) == 1
 
 
+class TestPruneAndInventory:
+    def _populate(self, tmp_path, kinds=("rare_nets", "trojans"), per_kind=3):
+        cache = ArtifactCache(tmp_path / "cache")
+        for kind in kinds:
+            for index in range(per_kind):
+                cache.store(kind, list(range(32)), key=index)
+        return cache
+
+    def test_entries_and_inventory(self, tmp_path):
+        cache = self._populate(tmp_path)
+        entries = cache.entries()
+        assert len(entries) == 6
+        inventory = cache.inventory()
+        assert inventory["rare_nets"][0] == 3
+        assert inventory["trojans"][0] == 3
+        assert all(size > 0 for _, size in inventory.values())
+        assert cache.entries(kinds=["trojans"]) == [
+            entry for entry in entries if entry.kind == "trojans"
+        ]
+
+    def test_inventory_reports_zero_entry_kinds(self, tmp_path):
+        cache = self._populate(tmp_path)
+        cache.prune(max_age_seconds=0, kinds=["trojans"])
+        inventory = cache.inventory()
+        assert inventory["trojans"] == (0, 0)
+        assert inventory["rare_nets"][0] == 3
+
+    def test_missing_root_is_empty_not_an_error(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "never-created")
+        assert cache.entries() == []
+        assert cache.inventory() == {}
+        report = cache.prune(max_bytes=0)
+        assert report.removed_entries == 0
+
+    def test_age_based_eviction(self, tmp_path):
+        import os
+
+        cache = self._populate(tmp_path, per_kind=2)
+        old = cache.entries()[0]
+        os.utime(old.path, (old.mtime - 3600, old.mtime - 3600))
+        report = cache.prune(max_age_seconds=600)
+        assert report.removed_entries == 1
+        assert report.kept_entries == 3
+        assert report.removed_by_kind == {old.kind: 1}
+        assert not old.path.exists()
+
+    def test_size_based_eviction_drops_oldest_first(self, tmp_path):
+        import os
+
+        cache = self._populate(tmp_path, kinds=("rare_nets",), per_kind=4)
+        entries = sorted(cache.entries(), key=lambda entry: entry.path)
+        # Give each entry a distinct age; index 0 is the oldest.
+        for position, entry in enumerate(entries):
+            stamp = entry.mtime - (len(entries) - position) * 100
+            os.utime(entry.path, (stamp, stamp))
+        keep_bytes = sum(entry.size for entry in entries[2:])
+        report = cache.prune(max_bytes=keep_bytes)
+        assert report.removed_entries == 2
+        assert not entries[0].path.exists() and not entries[1].path.exists()
+        assert entries[2].path.exists() and entries[3].path.exists()
+
+    def test_dry_run_removes_nothing(self, tmp_path):
+        cache = self._populate(tmp_path)
+        report = cache.prune(max_bytes=0, dry_run=True)
+        assert report.dry_run
+        assert report.removed_entries == 6
+        assert len(cache.entries()) == 6
+
+    def test_dry_run_predicts_doomed_entry_locks_as_debris(self, tmp_path):
+        """Locks orphaned *by* the prune itself must count in the dry run too."""
+        import os
+        import time
+
+        cache = self._populate(tmp_path, kinds=("rare_nets",), per_kind=2)
+        ancient = time.time() - 48 * 3600
+        for entry in cache.entries():
+            lock = entry.path.with_suffix(".lock")
+            lock.write_bytes(b"")
+            os.utime(lock, (ancient, ancient))
+            os.utime(entry.path, (ancient, ancient))
+        predicted = cache.prune(max_age_seconds=3600, dry_run=True)
+        actual = cache.prune(max_age_seconds=3600)
+        assert predicted.removed_entries == actual.removed_entries == 2
+        assert predicted.removed_debris == actual.removed_debris == 2
+
+    def test_debris_sweep_spares_live_files(self, tmp_path):
+        import os
+        import time
+
+        cache = self._populate(tmp_path, kinds=("rare_nets",), per_kind=1)
+        kind_dir = cache.entries()[0].path.parent
+        ancient = time.time() - 48 * 3600
+        # A lock whose entry exists is never swept, however old.
+        entry_lock = cache.entries()[0].path.with_suffix(".lock")
+        entry_lock.write_bytes(b"")
+        os.utime(entry_lock, (ancient, ancient))
+        # An old orphan lock and an old writer temp file are stale debris.
+        orphan_lock = kind_dir / "gone.lock"
+        orphan_lock.write_bytes(b"")
+        os.utime(orphan_lock, (ancient, ancient))
+        stale_tmp = kind_dir / "writer123.tmp"
+        stale_tmp.write_bytes(b"partial")
+        os.utime(stale_tmp, (ancient, ancient))
+        # Fresh files may belong to live workers: a writer mid-store or a
+        # single-flight build holding its lock. They must survive.
+        live_tmp = kind_dir / "writer456.tmp"
+        live_tmp.write_bytes(b"in flight")
+        live_lock = kind_dir / "building.lock"
+        live_lock.write_bytes(b"")
+        report = cache.prune()
+        assert report.removed_debris == 2
+        assert entry_lock.exists()
+        assert not orphan_lock.exists()
+        assert not stale_tmp.exists()
+        assert live_tmp.exists()
+        assert live_lock.exists()
+
+    def test_prune_kinds_restricts_entries_and_debris(self, tmp_path):
+        import os
+        import time
+
+        cache = self._populate(tmp_path)
+        ancient = time.time() - 48 * 3600
+        orphans = {}
+        for kind in ("rare_nets", "trojans"):
+            orphan = tmp_path / "cache" / kind / "gone.lock"
+            orphan.write_bytes(b"")
+            os.utime(orphan, (ancient, ancient))
+            orphans[kind] = orphan
+        report = cache.prune(max_age_seconds=0, kinds=["trojans"])
+        assert report.removed_by_kind == {"trojans": 3}
+        assert report.removed_debris == 1
+        assert not orphans["trojans"].exists()
+        assert orphans["rare_nets"].exists()
+        assert cache.inventory()["rare_nets"][0] == 3
+
+    def test_prune_then_refetch_recomputes(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        calls = []
+        cache.fetch("rare_nets", lambda: calls.append(1) or [1], key="x")
+        cache.prune(max_age_seconds=0)
+        cache.fetch("rare_nets", lambda: calls.append(1) or [1], key="x")
+        assert len(calls) == 2
+
+
 class TestPrepareBenchmarkDiskCache:
     def test_rerun_hits_disk_cache(self, tmp_path):
         cache = ArtifactCache(tmp_path)

@@ -32,12 +32,12 @@ def _reset_default_cache():
 
 
 class TestRegistry:
-    def test_all_eleven_harnesses_registered(self):
+    def test_all_twelve_harnesses_registered(self):
         names = {spec.name for spec in all_experiments()}
         assert names == {
             "figure2", "figure3", "figure5", "figure6", "figure7",
             "table1", "table2", "transfer", "ablations", "pipeline",
-            "sequential",
+            "sequential", "sequential_detect",
         }
 
     def test_every_module_implements_the_protocol(self):
@@ -246,7 +246,65 @@ class TestCli:
         assert cli_main(["cache", "--cache-dir", str(tmp_path / "cache")]) == 0
         out = capsys.readouterr().out
         assert "rare_nets" in out and "sequential_trojans" in out
-        assert "grows" in out  # the unbounded-growth caveat is printed
+        assert "deterrent cache prune" in out  # eviction is advertised
+
+    def test_cache_prune_subcommand(self, tmp_path, capsys):
+        from repro.runner.cache import ArtifactCache
+
+        cache = ArtifactCache(tmp_path / "cache")
+        for index in range(4):
+            cache.store("rare_nets", list(range(64)), key=index)
+
+        # Missing directory: clean no-op, exit 0 (never a traceback).
+        assert cli_main(["cache", "prune", "--cache-dir", str(tmp_path / "nope")]) == 0
+        assert "does not exist yet" in capsys.readouterr().out
+
+        # Dry run removes nothing.
+        assert cli_main([
+            "cache", "prune", "--cache-dir", str(tmp_path / "cache"),
+            "--max-size", "0", "--dry-run",
+        ]) == 0
+        assert "would remove 4 entries" in capsys.readouterr().out
+        assert len(cache.entries()) == 4
+
+        # Age-based eviction empties the kind, which stays reported as zero.
+        assert cli_main([
+            "cache", "prune", "--cache-dir", str(tmp_path / "cache"),
+            "--max-age", "0",
+        ]) == 0
+        assert "removed 4 entries" in capsys.readouterr().out
+        assert cache.entries() == []
+        assert cli_main(["cache", "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "rare_nets" in out and "0 entries" in out
+
+        # No bounds: only stale debris is swept, entries are kept.
+        import os
+        import time
+
+        cache.store("rare_nets", [1], key="keep")
+        stale_tmp = tmp_path / "cache" / "rare_nets" / "stale.tmp"
+        stale_tmp.write_bytes(b"x")
+        ancient = time.time() - 48 * 3600
+        os.utime(stale_tmp, (ancient, ancient))
+        assert cli_main([
+            "cache", "prune", "--cache-dir", str(tmp_path / "cache"), "--dry-run",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "would remove 0 entries" in out and "would be swept" in out
+        assert stale_tmp.exists()
+        assert cli_main(["cache", "prune", "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 entries" in out and "debris" in out
+        assert len(cache.entries()) == 1
+
+        # --cache-dir before the subcommand must target the same cache (the
+        # prune subparser merges, not clobbers, the parent option).
+        assert cli_main([
+            "cache", "--cache-dir", str(tmp_path / "cache"), "prune", "--max-age", "0",
+        ]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert cache.entries() == []
 
     def test_report_without_runs(self, tmp_path, capsys):
         assert cli_main(["report", "--results-dir", str(tmp_path)]) == 1
