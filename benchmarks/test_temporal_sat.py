@@ -19,6 +19,7 @@ import pytest
 from repro.circuits.library import load_benchmark
 from repro.core.patterns import SequenceSet
 from repro.core.sequence_gen import generate_sequences
+from repro.sat.temporal import SequentialJustifier
 from repro.simulation.rare_nets import extract_rare_nets
 from repro.trojan.evaluation import sequence_trigger_coverage
 from repro.trojan.insertion import sample_sequential_trojans
@@ -93,4 +94,39 @@ def test_sat_guided_vs_random_coverage_per_second(benchmark, workload):
         kwargs={"mode": MODE, "count": COUNT, "num_sequences": BUDGET, "seed": 3},
         rounds=1,
         iterations=1,
+    )
+
+
+def test_solver_decisions_per_second(benchmark, workload):
+    """Solver-only throughput: decisions/propagations per second on the
+    unrolled temporal encoding, isolated from simulation and coverage cost.
+
+    This is the raw-engine counterpart to the coverage-per-second number
+    above: it moves when the CDCL core itself (heap, watches, restarts,
+    clause forgetting) gets faster or slower, independent of how many
+    queries the greedy set-construction layer issues.
+    """
+    netlist, rare_nets, trojans = workload
+
+    def solver_workload():
+        justifier = SequentialJustifier(netlist, cycles=CYCLES)
+        for trojan in trojans:
+            justifier.is_satisfiable(trojan.trigger)
+        return justifier.stats()
+
+    stats = solver_workload()  # warm-up outside the timed region
+    started = time.perf_counter()
+    stats = benchmark.pedantic(solver_workload, rounds=1, iterations=1)
+    elapsed = max(time.perf_counter() - started, 1e-9)
+
+    assert stats.decisions > 0
+    assert stats.propagations > 0
+    benchmark.extra_info["design"] = DESIGN
+    benchmark.extra_info["queries"] = len(trojans)
+    benchmark.extra_info["decisions"] = stats.decisions
+    benchmark.extra_info["propagations"] = stats.propagations
+    benchmark.extra_info["conflicts"] = stats.conflicts
+    benchmark.extra_info["decisions_per_second"] = round(stats.decisions / elapsed, 1)
+    benchmark.extra_info["propagations_per_second"] = round(
+        stats.propagations / elapsed, 1
     )

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Soft benchmark-regression check: warn, never fail.
+
+Compares a fresh pytest-benchmark JSON report against the stored baseline in
+``benchmarks/baseline.json`` and emits a GitHub Actions ``::warning::``
+annotation for every tracked throughput metric that dropped by more than the
+threshold (default 30%).  CI machines are noisy, so a regression here is a
+signal to look at — not a merge blocker — and the script therefore always
+exits 0 unless its inputs are unreadable.
+
+Tracked metrics are *throughput* numbers from ``extra_info`` (bigger is
+better): coverage-per-second for the end-to-end SAT-guided generation
+benchmark and decisions/propagations-per-second for the solver-only one.
+
+Usage::
+
+    python scripts/check_benchmark_regression.py benchmark-results.json
+    python scripts/check_benchmark_regression.py results.json --baseline benchmarks/baseline.json --threshold 0.3
+
+Refreshing the baseline after an intentional performance change::
+
+    python -m pytest -q benchmarks --benchmark-json benchmark-results.json
+    python scripts/check_benchmark_regression.py benchmark-results.json --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: benchmark name -> extra_info keys to track (all bigger-is-better rates).
+TRACKED_METRICS: dict[str, tuple[str, ...]] = {
+    "test_sat_guided_vs_random_coverage_per_second": ("sat_coverage_per_second",),
+    "test_solver_decisions_per_second": (
+        "decisions_per_second",
+        "propagations_per_second",
+    ),
+}
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.json"
+
+
+def extract_metrics(report: dict) -> dict[str, dict[str, float]]:
+    """Pull the tracked extra_info rates out of a pytest-benchmark report."""
+    metrics: dict[str, dict[str, float]] = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "")
+        keys = TRACKED_METRICS.get(name)
+        if not keys:
+            continue
+        extra = bench.get("extra_info", {})
+        found = {key: float(extra[key]) for key in keys if key in extra}
+        if found:
+            metrics[name] = found
+    return metrics
+
+
+def compare(
+    current: dict[str, dict[str, float]],
+    baseline: dict[str, dict[str, float]],
+    threshold: float,
+) -> list[str]:
+    """Return one warning line per metric that regressed beyond ``threshold``."""
+    warnings: list[str] = []
+    for name, base_values in sorted(baseline.items()):
+        current_values = current.get(name)
+        if current_values is None:
+            warnings.append(
+                f"benchmark {name!r} is in the baseline but missing from the "
+                "current report (was it renamed or skipped?)"
+            )
+            continue
+        for key, base in sorted(base_values.items()):
+            if base <= 0:
+                continue
+            value = current_values.get(key)
+            if value is None:
+                warnings.append(f"{name}: metric {key!r} missing from current report")
+                continue
+            drop = (base - value) / base
+            if drop > threshold:
+                warnings.append(
+                    f"{name}: {key} dropped {drop:.0%} "
+                    f"({base:g} -> {value:g}, threshold {threshold:.0%})"
+                )
+    return warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="pytest-benchmark JSON report")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="fractional drop that triggers a warning (default 0.30)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current report instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.report.read_text())
+    current = extract_metrics(report)
+
+    if args.update_baseline:
+        args.baseline.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline} ({len(current)} benchmarks)")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; skipping regression check")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    warnings = compare(current, baseline, args.threshold)
+    if warnings:
+        for line in warnings:
+            # GitHub Actions annotation; plain prefix elsewhere.
+            print(f"::warning::benchmark regression: {line}")
+    else:
+        tracked = sum(len(values) for values in baseline.values())
+        print(f"no benchmark regressions ({tracked} tracked metrics within threshold)")
+    # Soft check by design: noisy CI runners must not block merges.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,7 +42,8 @@ import numpy as np
 from repro.circuits.netlist import Netlist
 from repro.core.patterns import SequenceSet
 from repro.sat.justify import greedy_maximal_subset
-from repro.sat.temporal import SequentialJustifier
+from repro.sat.solver import SolverConfig
+from repro.sat.temporal import SequentialJustifier, temporal_fire_cycles
 from repro.simulation.rare_nets import RareNet
 from repro.trojan.model import SequentialTrigger, TriggerCondition
 from repro.utils.rng import RngLike, make_rng
@@ -107,6 +108,46 @@ class SequentialCompatibility:
             return True
         return self.justifier.is_satisfiable(self.trigger(indices), self.cycles)
 
+    def satisfiable_superset(self, indices) -> frozenset[int] | None:
+        """One SAT call answering "can this set fire?" with a certificate.
+
+        Returns None when the set cannot fire within the horizon.  On SAT,
+        the witness model is mined for *additional* rare nets whose rare
+        values it also drives under the temporal rule, and the (possibly
+        much larger) jointly-fired index set is returned.  Because trigger
+        satisfiability is monotone — a superset condition is strictly harder
+        to fire, so SAT of a superset proves SAT of every subset — callers
+        can answer any future subset query from the returned certificate
+        without touching the solver (see :func:`greedy_compatible_sets`).
+        """
+        indices = sorted(indices)
+        model = self.justifier.satisfying_model(self.trigger(indices), self.cycles)
+        if model is None:
+            return None
+        # Per-(rare net, cycle) truth of each rare value in the model.
+        expansion = self.justifier.expansion
+        frames = self.cycles
+        profile = np.zeros((len(self.rare_nets), frames), dtype=bool)
+        for row, rare in enumerate(self.rare_nets):
+            want = bool(rare.rare_value)
+            for frame in range(frames):
+                value = model.get(expansion.variable(rare.net, frame), False)
+                profile[row, frame] = value == want
+        # Greedy deterministic extension: add index j while the conjunction
+        # of per-cycle bits still fires under (mode, count).
+        mined = set(indices)
+        bits = np.ones(frames, dtype=bool)
+        for index in indices:
+            bits &= profile[index]
+        for index in range(len(self.rare_nets)):
+            if index in mined:
+                continue
+            joined = bits & profile[index]
+            if temporal_fire_cycles(self.mode, self.count, joined):
+                mined.add(index)
+                bits = joined
+        return frozenset(mined)
+
 
 def temporal_activatability(
     justifier: SequentialJustifier,
@@ -135,6 +176,7 @@ def analyze_sequential_compatibility(
     count: int = 1,
     justifier: SequentialJustifier | None = None,
     max_rare_nets: int | None = None,
+    solver_config: SolverConfig | None = None,
 ) -> SequentialCompatibility:
     """Pre-filter ``rare_nets`` by temporal activatability at depth ``cycles``.
 
@@ -143,6 +185,10 @@ def analyze_sequential_compatibility(
     care: state-dependent extraction puts provably-unreachable nets
     (estimated probability 0) at the front of the order, so an aggressive
     cap can exclude every reachable net — the default considers all.
+
+    ``solver_config`` tunes the CDCL solver behind the unrolled stack; it is
+    ignored when a pre-built ``justifier`` is supplied (the justifier's own
+    configuration wins).
     """
     if not netlist.is_sequential:
         raise ValueError(
@@ -158,7 +204,7 @@ def analyze_sequential_compatibility(
     candidates = sorted(rare_nets, key=lambda rare: (rare.probability, rare.net))
     if max_rare_nets is not None:
         candidates = candidates[:max_rare_nets]
-    justifier = justifier or SequentialJustifier(netlist, cycles)
+    justifier = justifier or SequentialJustifier(netlist, cycles, config=solver_config)
     justifier.extend_to(cycles)
     verdicts = temporal_activatability(justifier, candidates, mode, count, cycles)
     return SequentialCompatibility(
@@ -189,6 +235,15 @@ def greedy_compatible_sets(
     maximal sets end a pass without yield; ``stall_limit`` consecutive
     duplicate passes end the search early (the design has run out of
     distinct maximal sets).
+
+    Trigger satisfiability is **monotone** in the condition set (a superset
+    condition is strictly harder to fire), so most candidate checks never
+    reach the solver: every SAT model is mined for the maximal index set it
+    jointly fires (:meth:`SequentialCompatibility.satisfiable_superset`) and
+    future subsets of any mined set — or supersets of any recorded UNSAT
+    set — are answered from those certificates.  Verdicts are provably
+    identical to querying every candidate directly, so the chosen sets (and
+    hence the emitted witnesses) do not depend on the caching.
     """
     count = compatibility.num_rare_nets
     if count == 0 or num_sets <= 0:
@@ -200,6 +255,8 @@ def greedy_compatible_sets(
     verdicts: dict[frozenset[int], bool] = {
         frozenset((index,)): True for index in range(count)
     }
+    sat_cover: list[frozenset[int]] = []  # mined jointly-fired sets (maximal)
+    unsat_cover: list[frozenset[int]] = []  # sets proven unable to fire
     first_pass = True
     stall = 0
     while len(sets) < num_sets and stall < stall_limit:
@@ -215,7 +272,22 @@ def greedy_compatible_sets(
             candidate = frozenset(chosen) | {index}
             verdict = verdicts.get(candidate)
             if verdict is None:
-                verdict = compatibility.set_is_satisfiable(sorted(candidate))
+                # Monotonicity: subset of a known-SAT set is SAT, superset
+                # of a known-UNSAT set is UNSAT — no solver call needed.
+                if any(candidate <= known for known in sat_cover):
+                    verdict = True
+                elif any(known <= candidate for known in unsat_cover):
+                    verdict = False
+                else:
+                    mined = compatibility.satisfiable_superset(candidate)
+                    verdict = mined is not None
+                    if mined is None:
+                        unsat_cover.append(candidate)
+                    elif not any(mined <= known for known in sat_cover):
+                        sat_cover[:] = [
+                            known for known in sat_cover if not known <= mined
+                        ]
+                        sat_cover.append(mined)
                 verdicts[candidate] = verdict
             if verdict:
                 chosen.append(index)
@@ -279,6 +351,7 @@ def generate_sequences(
     max_rare_nets: int | None = None,
     n_jobs: int = 1,
     technique: str = "SAT-guided",
+    solver_config: SolverConfig | None = None,
 ) -> SequenceSet:
     """Generate SAT-guided test sequences from state-dependent rare nets.
 
@@ -289,11 +362,18 @@ def generate_sequences(
     conjunction to fire under (``mode``, ``count``) within ``cycles`` clock
     cycles from reset, so any sampled Trojan whose trigger nets are a subset
     of one set is covered by construction.
+
+    ``solver_config`` tunes every CDCL solver in the pipeline (the serial
+    stack and, for ``n_jobs != 1``, each worker's private stack); the
+    emitted metadata carries the serial stack's cumulative
+    :class:`~repro.sat.solver.SolverStats` under ``"solver_stats"``
+    (worker-side stats are not aggregated).
     """
     inputs = netlist.inputs
     compatibility = analyze_sequential_compatibility(
         netlist, rare_nets, cycles, mode, count,
         justifier=justifier, max_rare_nets=max_rare_nets,
+        solver_config=solver_config,
     )
     metadata = {
         "cycles": cycles,
@@ -307,6 +387,7 @@ def generate_sequences(
     }
     empty = np.zeros((0, cycles, len(inputs)), dtype=np.uint8)
     if compatibility.num_rare_nets == 0:
+        metadata["solver_stats"] = compatibility.justifier.stats().as_dict()
         return SequenceSet(
             inputs=inputs, sequences=empty, technique=technique, metadata=metadata
         )
@@ -325,6 +406,7 @@ def generate_sequences(
             # Workers must unroll from the same machine state the sets were
             # analysed from (a caller-supplied justifier may not be at reset).
             initial_state=compatibility.justifier.initial_state,
+            solver_config=solver_config,
         )
     else:
         results = [
@@ -343,6 +425,9 @@ def generate_sequences(
         metadata["sets"].append(ordered)
         metadata["set_sizes"].append(realized)
         metadata["fire_cycles"].append(int(fire_cycle))
+    # Cumulative stats of the serial solver stack (pre-filter, greedy set
+    # construction, and — on the n_jobs=1 path — witness extraction).
+    metadata["solver_stats"] = compatibility.justifier.stats().as_dict()
     array = np.stack(sequences) if sequences else empty
     return SequenceSet(
         inputs=inputs, sequences=array, technique=technique, metadata=metadata

@@ -48,11 +48,14 @@ from repro.experiments.sequential import (
     cells as _sequential_cells,
 )
 from repro.runner.cache import get_default_cache, netlist_fingerprint
+from repro.sat.solver import SolverConfig
 from repro.simulation.rare_nets import RareNet
 from repro.trojan.evaluation import sequence_trigger_coverage
 
-#: Option keys this harness accepts (validated by the runner).
-OPTIONS = ("designs", "cycles", "modes", "counts")
+#: Option keys this harness accepts (validated by the runner).  ``solver``
+#: takes a :meth:`repro.sat.solver.SolverConfig.from_mapping` dict, e.g.
+#: ``--set 'solver={"restart_policy": "geometric", "var_decay": 0.9}'``.
+OPTIONS = ("designs", "cycles", "modes", "counts", "solver")
 
 
 @dataclass
@@ -70,11 +73,27 @@ class SequentialDetectCellResult:
     num_sat_sequences: int
     sat_coverage_percent: float
     random_coverage_percent: float
+    solver_stats: dict | None = None
 
 
 def cells(profile: ExperimentProfile, options: dict):
-    """Same grid shape as the ``sequential`` harness (designs × cycles × rule)."""
-    return _sequential_cells(profile, options)
+    """Same grid shape as the ``sequential`` harness (designs × cycles × rule).
+
+    A ``solver`` option (SolverConfig mapping) is validated once here and
+    attached to every cell, so sharded workers rebuild the exact same
+    configuration from the cell params alone.
+    """
+    grid = _sequential_cells(profile, options)
+    solver = options.get("solver")
+    if solver is not None:
+        if not isinstance(solver, dict):
+            raise ValueError(
+                f"solver option must be a mapping of SolverConfig fields, got {solver!r}"
+            )
+        SolverConfig.from_mapping(solver)  # validate keys and ranges up front
+        for cell in grid:
+            cell.params["solver"] = dict(solver)
+    return grid
 
 
 def _guided_sequences(
@@ -85,8 +104,14 @@ def _guided_sequences(
     count: int,
     budget: int,
     profile: ExperimentProfile,
+    solver_config: SolverConfig | None = None,
 ) -> SequenceSet:
-    """SAT-guided sequence set, shared through the artifact cache."""
+    """SAT-guided sequence set, shared through the artifact cache.
+
+    The solver configuration is part of the cache key: a tuned solver may
+    produce different (equally valid) witnesses, so sets generated under one
+    configuration are never served for another.
+    """
 
     def _generate() -> SequenceSet:
         return generate_sequences(
@@ -97,6 +122,7 @@ def _guided_sequences(
             count=count,
             num_sequences=budget,
             seed=profile.seed + 3,
+            solver_config=solver_config,
         )
 
     cache = get_default_cache()
@@ -112,6 +138,7 @@ def _guided_sequences(
         count=count,
         budget=budget,
         seed=profile.seed + 3,
+        solver=sorted((solver_config or SolverConfig()).as_dict().items()),
     )
 
 
@@ -121,13 +148,19 @@ def run_cell(params: dict, profile: ExperimentProfile) -> SequentialDetectCellRe
     cycles = params["cycles"]
     mode = params["mode"]
     count = params["count"]
+    solver_config = (
+        SolverConfig.from_mapping(params["solver"]) if "solver" in params else None
+    )
     netlist = load_benchmark(design, combinational_view=False)
     rare_nets = _rare_nets(netlist, cycles, profile)
     trojans = _trojans(netlist, rare_nets, mode, count, profile)
     if not trojans:
         return None
     budget = profile.k_patterns
-    guided = _guided_sequences(netlist, rare_nets, cycles, mode, count, budget, profile)
+    guided = _guided_sequences(
+        netlist, rare_nets, cycles, mode, count, budget, profile,
+        solver_config=solver_config,
+    )
     random_sequences = SequenceSet.random(
         netlist,
         num_sequences=budget,
@@ -149,6 +182,7 @@ def run_cell(params: dict, profile: ExperimentProfile) -> SequentialDetectCellRe
         num_sat_sequences=len(guided),
         sat_coverage_percent=sat_coverage.coverage_percent,
         random_coverage_percent=random_coverage.coverage_percent,
+        solver_stats=guided.metadata.get("solver_stats"),
     )
 
 
@@ -185,7 +219,26 @@ def report(results: list[SequentialDetectCellResult]) -> str:
         "same budget of uniform sequences from reset (the 'sequential' harness\n"
         "baseline)."
     )
+    aggregate = _aggregate_solver_stats(results)
+    if aggregate is not None:
+        summary = ", ".join(f"{key}={value}" for key, value in aggregate.items())
+        note += f"\n\nAggregate solver stats (fresh cells only): {summary}"
     return f"{table}\n\n{note}"
+
+
+def _aggregate_solver_stats(
+    results: list[SequentialDetectCellResult],
+) -> dict | None:
+    """Merge per-cell solver stats (None when every cell was cache-served)."""
+    from repro.sat.solver import SolverStats
+
+    merged: SolverStats | None = None
+    for result in results:
+        if not result.solver_stats:
+            continue
+        snapshot = SolverStats(**result.solver_stats)
+        merged = snapshot if merged is None else merged.merge(snapshot)
+    return merged.as_dict() if merged is not None else None
 
 
 def run(
@@ -194,19 +247,23 @@ def run(
     modes: tuple[str, ...] = DEFAULT_MODES,
     counts: tuple[int, ...] = DEFAULT_COUNTS,
     profile: ExperimentProfile = QUICK,
+    solver: dict | None = None,
 ) -> list[SequentialDetectCellResult]:
     """Run the SAT-guided detection grid through the experiment runner."""
     from repro.runner.execution import run_experiment
 
+    options: dict = {
+        "designs": tuple(designs),
+        "cycles": tuple(cycles),
+        "modes": tuple(modes),
+        "counts": tuple(counts),
+    }
+    if solver is not None:
+        options["solver"] = dict(solver)
     return run_experiment(
         "sequential_detect",
         profile=profile,
-        options={
-            "designs": tuple(designs),
-            "cycles": tuple(cycles),
-            "modes": tuple(modes),
-            "counts": tuple(counts),
-        },
+        options=options,
     ).collected
 
 

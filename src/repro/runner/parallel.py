@@ -70,6 +70,7 @@ import numpy as np
 from repro.circuits.bench_io import dumps_bench, loads_bench
 from repro.circuits.netlist import Netlist
 from repro.sat.justify import Justifier, greedy_maximal_subset
+from repro.sat.solver import SolverConfig
 
 #: Shards submitted per worker; >1 smooths load imbalance between shards.
 OVERSUBSCRIPTION = 4
@@ -176,18 +177,24 @@ _WORKER_REQUIREMENTS: list[Requirement] = []
 
 
 def _init_compat_worker(
-    search_paths: list[str], bench_text: str, name: str, requirements: list[Requirement]
+    search_paths: list[str],
+    bench_text: str,
+    name: str,
+    requirements: list[Requirement],
+    solver_config: SolverConfig | None = None,
 ) -> None:
     """Build this worker's private solver stack over the shared encoding.
 
     ``search_paths`` replays the parent's ``sys.path`` so spawned workers can
     import ``repro`` from a fresh checkout that was never pip-installed.
+    ``solver_config`` (a picklable frozen dataclass) replicates the parent's
+    solver tuning on the worker's private stack.
     """
     global _WORKER_JUSTIFIER, _WORKER_REQUIREMENTS
     for path in search_paths:
         if path not in sys.path:
             sys.path.append(path)
-    _WORKER_JUSTIFIER = Justifier(loads_bench(bench_text, name=name))
+    _WORKER_JUSTIFIER = Justifier(loads_bench(bench_text, name=name), config=solver_config)
     _WORKER_REQUIREMENTS = requirements
 
 
@@ -208,6 +215,7 @@ def parallel_compatibility_matrix(
     requirements: list[Requirement],
     n_jobs: int,
     base_seed: int = 0,
+    solver_config: SolverConfig | None = None,
 ) -> np.ndarray:
     """Compute the pairwise matrix across ``n_jobs`` worker processes.
 
@@ -224,7 +232,10 @@ def parallel_compatibility_matrix(
     with ProcessPoolExecutor(
         max_workers=min(n_jobs, len(shards)),
         initializer=_init_compat_worker,
-        initargs=(list(sys.path), bench_text, netlist.name, list(requirements)),
+        initargs=(
+            list(sys.path), bench_text, netlist.name, list(requirements),
+            solver_config,
+        ),
     ) as pool:
         for shard_result in pool.map(_run_shard, shards):
             for i, j, compatible in shard_result:
@@ -262,6 +273,7 @@ def parallel_activatability(
     requirements: list[Requirement],
     n_jobs: int,
     base_seed: int = 0,
+    solver_config: SolverConfig | None = None,
 ) -> list[bool]:
     """Shard the activatability pre-filter across worker processes.
 
@@ -279,7 +291,10 @@ def parallel_activatability(
     with ProcessPoolExecutor(
         max_workers=min(n_jobs, len(shards)),
         initializer=_init_compat_worker,
-        initargs=(list(sys.path), bench_text, netlist.name, list(requirements)),
+        initargs=(
+            list(sys.path), bench_text, netlist.name, list(requirements),
+            solver_config,
+        ),
     ) as pool:
         for shard_result in pool.map(_run_activatability_shard, shards):
             for item, verdict in shard_result:
@@ -326,6 +341,7 @@ def _init_witness_worker(
     name: str,
     ordered_sets: list[OrderedRequirements],
     preferred_values: dict[str, int],
+    solver_config: SolverConfig | None = None,
 ) -> None:
     """Build this worker's solver stack plus the shared witness work list."""
     global _WORKER_JUSTIFIER, _WITNESS_SETS
@@ -335,6 +351,7 @@ def _init_witness_worker(
     _WORKER_JUSTIFIER = Justifier(
         loads_bench(bench_text, name=name),
         preferred_values=preferred_values or None,
+        config=solver_config,
     )
     _WITNESS_SETS = ordered_sets
 
@@ -357,6 +374,7 @@ def parallel_pattern_witnesses(
     n_jobs: int,
     preferred_values: dict[str, int] | None = None,
     base_seed: int = 0,
+    solver_config: SolverConfig | None = None,
 ) -> list[tuple[dict[str, int] | None, int]]:
     """Generate one SAT witness per requirement set across worker processes.
 
@@ -379,6 +397,7 @@ def parallel_pattern_witnesses(
         initargs=(
             list(sys.path), bench_text, netlist.name,
             list(ordered_sets), dict(preferred_values or {}),
+            solver_config,
         ),
     ) as pool:
         for shard_result in pool.map(_run_witness_shard, shards):
@@ -405,6 +424,7 @@ def _init_sequence_worker(
     ordered_sets: list[OrderedRequirements],
     preferred_values: dict[str, int],
     initial_state: dict[str, int] | None,
+    solver_config: SolverConfig | None = None,
 ) -> None:
     """Build this worker's unrolled solver stack for sequence witnesses."""
     global _SEQUENCE_JUSTIFIER, _SEQUENCE_SETS, _SEQUENCE_RULE
@@ -414,7 +434,8 @@ def _init_sequence_worker(
     from repro.sat.temporal import SequentialJustifier
 
     justifier = SequentialJustifier(
-        loads_bench(bench_text, name=name), cycles, initial_state=initial_state
+        loads_bench(bench_text, name=name), cycles,
+        initial_state=initial_state, config=solver_config,
     )
     if preferred_values:
         justifier.set_preferred_values(preferred_values)
@@ -448,6 +469,7 @@ def parallel_sequence_witnesses(
     preferred_values: dict[str, int] | None = None,
     initial_state: dict[str, int] | None = None,
     base_seed: int = 0,
+    solver_config: SolverConfig | None = None,
 ) -> list[tuple[object, int, int]]:
     """Generate one replay-verified sequence witness per set across workers.
 
@@ -472,6 +494,7 @@ def parallel_sequence_witnesses(
             list(sys.path), bench_text, netlist.name, cycles, mode, count,
             list(ordered_sets), dict(preferred_values or {}),
             dict(initial_state) if initial_state else None,
+            solver_config,
         ),
     ) as pool:
         for shard_result in pool.map(_run_sequence_shard, shards):

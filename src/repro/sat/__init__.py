@@ -9,10 +9,25 @@ sequential netlist's transition relation k cycles into one incrementally
 extendable CNF, and :class:`SequentialJustifier` justifies multi-cycle
 (consecutive / cumulative count-k) triggers on it, extracting replay-verified
 witness sequences.
+
+The public solver surface is :class:`CdclSolver` configured through a frozen
+:class:`SolverConfig` (EVSIDS decay, Luby/geometric restarts, clause-database
+reduction) and observed through cumulative :class:`SolverStats` — every
+higher-level entry point (:class:`Justifier`, :class:`SequentialJustifier`,
+:class:`TimeFrameExpansion`) accepts a ``config`` and exposes ``stats()``.
 """
 
 from repro.sat.cnf import CNF, Literal
-from repro.sat.solver import CdclSolver, SolverResult
+from repro.sat.heap import ActivityHeap
+from repro.sat.solver import (
+    RESTART_POLICIES,
+    CdclSolver,
+    SolverConfig,
+    SolverResult,
+    SolverStats,
+    luby,
+    solve_cnf,
+)
 from repro.sat.encode import CircuitEncoder
 from repro.sat.justify import Justifier
 from repro.sat.unroll import TimeFrameExpansion
@@ -24,10 +39,16 @@ from repro.sat.temporal import (
 )
 
 __all__ = [
+    "ActivityHeap",
     "CNF",
     "Literal",
+    "RESTART_POLICIES",
     "CdclSolver",
+    "SolverConfig",
     "SolverResult",
+    "SolverStats",
+    "luby",
+    "solve_cnf",
     "CircuitEncoder",
     "Justifier",
     "TimeFrameExpansion",

@@ -18,16 +18,22 @@ from __future__ import annotations
 
 from repro.circuits.netlist import Netlist
 from repro.sat.encode import CircuitEncoder
-from repro.sat.solver import CdclSolver
+from repro.sat.solver import CdclSolver, SolverConfig, SolverStats
 
 
 class Justifier:
     """Incremental SAT justification engine for one combinational netlist."""
 
-    def __init__(self, netlist: Netlist, preferred_values: dict[str, int] | None = None) -> None:
+    def __init__(
+        self,
+        netlist: Netlist,
+        preferred_values: dict[str, int] | None = None,
+        config: SolverConfig | None = None,
+    ) -> None:
         self.netlist = netlist
         self.encoder = CircuitEncoder(netlist)
-        self._solver = CdclSolver(self.encoder.cnf)
+        self.config = config or SolverConfig()
+        self._solver = CdclSolver(self.encoder.cnf, config=self.config)
         self.num_queries = 0
         self._preferred_phases: dict[int, bool] = {}
         self.preferred_values: dict[str, int] = {}
@@ -48,6 +54,10 @@ class Justifier:
         # Keep the net-level mapping so worker processes can replicate the
         # bias on their own solver stacks (see runner/parallel.py).
         self.preferred_values = {net: int(value) for net, value in preferred_values.items()}
+
+    def stats(self) -> SolverStats:
+        """Cumulative solver statistics across every query so far."""
+        return self._solver.stats()
 
     # ------------------------------------------------------------------
     # Queries

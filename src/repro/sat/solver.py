@@ -1,26 +1,171 @@
 """A CDCL (conflict-driven clause learning) SAT solver.
 
 This is the library's replacement for the PicoSAT/pycosat solver the paper
-uses.  The implementation follows the MiniSat architecture:
+uses.  The implementation follows the MiniSat architecture with the classic
+performance stack on top:
 
-- two-watched-literal unit propagation,
-- first-UIP conflict analysis with clause learning,
-- VSIDS-style variable activities with exponential decay,
-- phase saving,
-- geometric restarts,
+- two-watched-literal unit propagation with **blocking literals** and flat
+  per-literal watch arrays,
+- first-UIP conflict analysis with clause learning and LBD (literal block
+  distance) tracking,
+- **EVSIDS** variable activities on an indexed max-heap
+  (:class:`~repro.sat.heap.ActivityHeap`): additive bumps with a growing
+  increment instead of decaying every activity, lazy heap deletion on
+  assignment and re-insertion on backtrack,
+- phase saving, carried across restarts,
+- **Luby ("reluctant doubling") restarts** (geometric scheduling remains
+  available through :class:`SolverConfig`),
+- **clause-database reduction**: learned clauses are periodically forgotten
+  worst-half-first by (LBD, activity), pinning reason clauses, binary
+  clauses, and low-LBD "glue" clauses,
 - incremental solving under assumptions.
 
 Incremental assumptions matter for this reproduction: pairwise compatibility
 of ``r`` rare nets requires ``O(r^2)`` satisfiability queries on the *same*
 circuit encoding, so the encoder builds one CNF and the compatibility analysis
 re-solves it under different assumption literals, keeping learned clauses.
+Clause forgetting is what keeps that incremental reuse affordable on deep
+time-frame unrolls, where the learned-clause set would otherwise grow without
+bound across :meth:`~repro.sat.unroll.TimeFrameExpansion.extend_to` calls.
+
+Configuration is a frozen :class:`SolverConfig`; cumulative counters are a
+:class:`SolverStats` snapshot from :meth:`CdclSolver.stats`.  The legacy
+``decay``/``restart_base``/``restart_growth`` keyword arguments are still
+accepted for one release with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field, fields, replace
 
 from repro.sat.cnf import CNF, Literal
+from repro.sat.heap import ActivityHeap
+
+#: Restart schedules :class:`SolverConfig` accepts.
+RESTART_POLICIES = ("luby", "geometric")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Frozen CDCL tuning knobs (the solver's public configuration surface).
+
+    Attributes:
+        var_decay: EVSIDS decay; each conflict grows the bump increment by
+            ``1 / var_decay`` (0 < var_decay < 1; higher = longer memory).
+        clause_decay: the same growth rule for learned-clause activities,
+            used as the tie-break when forgetting equal-LBD clauses.
+        restart_policy: ``"luby"`` (reluctant doubling, the default) or
+            ``"geometric"`` (the pre-overhaul schedule).
+        restart_base: conflicts per restart unit — the Luby multiplier, or
+            the first geometric limit.
+        restart_growth: geometric limit multiplier (ignored under Luby).
+        reduce_base: learned clauses tolerated before the first reduction.
+        reduce_growth: limit increase after each reduction (so the database
+            is allowed to grow slowly as the search matures).
+        reduce_fraction: fraction of forgettable learned clauses deleted per
+            reduction, worst (highest LBD, lowest activity) first.
+        glue_lbd: clauses with LBD <= this are never forgotten ("glue").
+        verify_models: re-check every SAT model against the full problem
+            clause database before returning it.  Off by default — it costs
+            O(formula) per SAT answer, and the pipelines that consume models
+            replay their witnesses through the compiled simulation engines
+            anyway; turn it on when debugging encodings.
+    """
+
+    var_decay: float = 0.95
+    clause_decay: float = 0.999
+    restart_policy: str = "luby"
+    restart_base: int = 100
+    restart_growth: float = 1.5
+    reduce_base: int = 2000
+    reduce_growth: int = 300
+    reduce_fraction: float = 0.5
+    glue_lbd: int = 2
+    verify_models: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.var_decay < 1.0:
+            raise ValueError(f"var_decay must be in (0, 1), got {self.var_decay}")
+        if not 0.0 < self.clause_decay < 1.0:
+            raise ValueError(f"clause_decay must be in (0, 1), got {self.clause_decay}")
+        if self.restart_policy not in RESTART_POLICIES:
+            raise ValueError(
+                f"restart_policy must be one of {RESTART_POLICIES}, "
+                f"got {self.restart_policy!r}"
+            )
+        if self.restart_base < 1:
+            raise ValueError(f"restart_base must be >= 1, got {self.restart_base}")
+        if self.restart_growth <= 1.0:
+            raise ValueError(f"restart_growth must be > 1, got {self.restart_growth}")
+        if self.reduce_base < 1:
+            raise ValueError(f"reduce_base must be >= 1, got {self.reduce_base}")
+        if self.reduce_growth < 0:
+            raise ValueError(f"reduce_growth must be >= 0, got {self.reduce_growth}")
+        if not 0.0 < self.reduce_fraction <= 1.0:
+            raise ValueError(
+                f"reduce_fraction must be in (0, 1], got {self.reduce_fraction}"
+            )
+        if self.glue_lbd < 0:
+            raise ValueError(f"glue_lbd must be >= 0, got {self.glue_lbd}")
+
+    @classmethod
+    def from_mapping(cls, mapping: dict) -> "SolverConfig":
+        """Build a config from a plain dict (the ``--set solver=...`` path).
+
+        Unknown keys raise ``ValueError`` with the supported key list, so a
+        typo on the CLI fails loudly instead of being silently ignored.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown SolverConfig key(s): {', '.join(unknown)}; "
+                f"supported: {', '.join(sorted(known))}"
+            )
+        return cls(**mapping)
+
+    def replace(self, **overrides) -> "SolverConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **overrides)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (JSON-ready, stable field order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class SolverStats:
+    """Cumulative per-solver counters (monotone across queries).
+
+    ``learned_clauses``/``deleted_clauses`` count lifetime events, not the
+    current database size; ``max_trail`` is the deepest assignment stack any
+    query reached.
+    """
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    max_trail: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (JSON-ready, stable key order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        """Aggregate two stats snapshots (sums; ``max_trail`` takes the max)."""
+        return SolverStats(
+            conflicts=self.conflicts + other.conflicts,
+            decisions=self.decisions + other.decisions,
+            propagations=self.propagations + other.propagations,
+            restarts=self.restarts + other.restarts,
+            learned_clauses=self.learned_clauses + other.learned_clauses,
+            deleted_clauses=self.deleted_clauses + other.deleted_clauses,
+            max_trail=max(self.max_trail, other.max_trail),
+        )
 
 
 @dataclass
@@ -32,6 +177,7 @@ class SolverResult:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    stats: SolverStats | None = None
 
     def value(self, variable: int) -> bool:
         """Value of ``variable`` in the model (SAT results only)."""
@@ -40,32 +186,109 @@ class SolverResult:
         return self.model.get(variable, False)
 
 
+class Clause(list):
+    """A clause: a literal list with learned-clause metadata riding along.
+
+    Subclassing ``list`` keeps literal access as fast as the raw lists the
+    propagation loop indexes (``clause[0]``/``clause[1]`` are the watched
+    literals) while giving the clause database a place for LBD and activity.
+    """
+
+    __slots__ = ("learned", "lbd", "activity")
+
+    def __init__(self, literals, learned: bool = False, lbd: int = 0) -> None:
+        super().__init__(literals)
+        self.learned = learned
+        self.lbd = lbd
+        self.activity = 0.0
+
+
+def luby(index: int) -> int:
+    """The reluctant-doubling sequence 1,1,2,1,1,2,4,... (0-based index)."""
+    size, height = 1, 0
+    while size < index + 1:
+        height += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) >> 1
+        height -= 1
+        index %= size
+    return 1 << height
+
+
 _UNASSIGNED = -1
+
+#: Rescale threshold/factor for EVSIDS activities (MiniSat's constants).
+_ACTIVITY_LIMIT = 1e100
+_ACTIVITY_RESCALE = 1e-100
+_CLAUSE_ACTIVITY_LIMIT = 1e20
+_CLAUSE_ACTIVITY_RESCALE = 1e-20
 
 
 class CdclSolver:
     """Incremental CDCL solver over a :class:`~repro.sat.cnf.CNF` formula."""
 
-    def __init__(self, cnf: CNF | None = None, *, decay: float = 0.95,
-                 restart_base: int = 100, restart_growth: float = 1.5) -> None:
+    def __init__(
+        self,
+        cnf: CNF | None = None,
+        *,
+        config: SolverConfig | None = None,
+        decay: float | None = None,
+        restart_base: int | None = None,
+        restart_growth: float | None = None,
+    ) -> None:
+        legacy = {
+            "decay": decay,
+            "restart_base": restart_base,
+            "restart_growth": restart_growth,
+        }
+        supplied = {key: value for key, value in legacy.items() if value is not None}
+        if supplied:
+            if config is not None:
+                raise ValueError(
+                    "pass either config=SolverConfig(...) or the legacy "
+                    f"keyword(s) {sorted(supplied)}, not both"
+                )
+            warnings.warn(
+                "CdclSolver(decay=, restart_base=, restart_growth=) is "
+                "deprecated; pass config=SolverConfig(var_decay=..., "
+                "restart_policy='geometric', restart_base=..., "
+                "restart_growth=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = SolverConfig(
+                var_decay=decay if decay is not None else 0.95,
+                restart_policy="geometric",
+                restart_base=restart_base if restart_base is not None else 100,
+                restart_growth=restart_growth if restart_growth is not None else 1.5,
+            )
+        self.config = config if config is not None else SolverConfig()
+
         self._num_vars = 0
-        self._clauses: list[list[Literal]] = []
-        self._watches: dict[Literal, list[int]] = {}
+        self._learned: list[Clause] = []
+        self._problem: list[Clause] = []
+        # Watch lists are flat arrays indexed by literal code
+        # ``(var << 1) | sign`` holding ``(clause, blocking literal)`` pairs.
+        # Binary clauses live in their own per-literal implication lists
+        # (``falsified literal -> (implied literal, clause)``): their watches
+        # never move, so propagation skips the whole replacement-search dance
+        # — on Tseitin circuit encodings most clauses are binary.
+        self._watches: list[list[tuple[Clause, Literal]]] = [[], []]
+        self._binary: list[list[tuple[Literal, Clause]]] = [[], []]
         self._assign: list[int] = [_UNASSIGNED]  # index 0 unused
         self._level: list[int] = [0]
-        self._reason: list[int] = [-1]
+        self._reason: list[Clause | None] = [None]
         self._phase: list[bool] = [False]
-        self._activity: list[float] = [0.0]
+        self._heap = ActivityHeap()
         self._trail: list[Literal] = []
         self._trail_limits: list[int] = []
         self._queue_head = 0
-        self._decay = decay
-        self._bump = 1.0
-        self._restart_base = restart_base
-        self._restart_growth = restart_growth
-        self._conflicts = 0
-        self._decisions = 0
-        self._propagations = 0
+        self._var_inc = 1.0
+        self._clause_inc = 1.0
+        self._restarts_scheduled = 0
+        self._reduce_limit = self.config.reduce_base
+        self._stats = SolverStats()
         self._unsat = False
         if cnf is not None:
             self.add_cnf(cnf)
@@ -94,15 +317,18 @@ class CdclSolver:
             self._unsat = True
             return
         if len(clause) == 1:
-            if not self._enqueue(clause[0], reason=-1):
+            if not self._enqueue(clause[0], reason=None):
                 self._unsat = True
             elif self._propagate() is not None:
                 self._unsat = True
             return
-        index = len(self._clauses)
-        self._clauses.append(clause)
-        self._watch(clause[0], index)
-        self._watch(clause[1], index)
+        stored = Clause(clause)
+        self._problem.append(stored)
+        if len(stored) == 2:
+            self._watch_binary(stored)
+        else:
+            self._watch(stored[0], stored, stored[1])
+            self._watch(stored[1], stored, stored[0])
 
     def reserve_vars(self, num_vars: int) -> None:
         """Grow the variable space to at least ``num_vars`` (idempotent).
@@ -131,14 +357,27 @@ class CdclSolver:
                 raise ValueError(f"unknown variable {variable}")
             self._phase[variable] = bool(value)
 
+    def stats(self) -> SolverStats:
+        """Snapshot of the cumulative solver counters (an independent copy)."""
+        return replace(self._stats)
+
+    @property
+    def num_learned(self) -> int:
+        """Current learned-clause database size (after any forgetting)."""
+        return len(self._learned)
+
     def _ensure_vars(self, num_vars: int) -> None:
         while self._num_vars < num_vars:
             self._num_vars += 1
             self._assign.append(_UNASSIGNED)
             self._level.append(0)
-            self._reason.append(-1)
+            self._reason.append(None)
             self._phase.append(False)
-            self._activity.append(0.0)
+            self._watches.append([])
+            self._watches.append([])
+            self._binary.append([])
+            self._binary.append([])
+        self._heap.grow(self._num_vars)
 
     # ------------------------------------------------------------------
     # Solving
@@ -149,29 +388,36 @@ class CdclSolver:
         if self._unsat:
             return self._result(False)
         self._backtrack(0)
-        conflict = self._propagate()
-        if conflict is not None:
+        if self._propagate() is not None:
             self._unsat = True
             return self._result(False)
 
-        restart_limit = self._restart_base
+        config = self.config
+        stats = self._stats
+        self._restarts_scheduled = 0  # each query restarts the schedule
+        restart_limit = self._next_restart_limit()
         conflicts_since_restart = 0
         while True:
             conflict = self._propagate()
             if conflict is not None:
-                self._conflicts += 1
+                stats.conflicts += 1
                 conflicts_since_restart += 1
-                if self._decision_level() == 0:
+                if not self._trail_limits:
                     self._unsat = True
                     return self._result(False)
-                learned, backjump = self._analyze(conflict)
-                if not self._handle_learned(learned, backjump):
+                learned, backjump, lbd = self._analyze(conflict)
+                if not self._handle_learned(learned, backjump, lbd):
                     self._backtrack(0)
                     return self._result(False)
+                self._var_inc *= 1.0 / config.var_decay
+                self._clause_inc *= 1.0 / config.clause_decay
                 if conflicts_since_restart >= restart_limit:
+                    stats.restarts += 1
                     conflicts_since_restart = 0
-                    restart_limit = int(restart_limit * self._restart_growth)
+                    restart_limit = self._next_restart_limit()
                     self._backtrack(0)
+                    if len(self._learned) >= self._reduce_limit:
+                        self._reduce_db()
                 continue
 
             # Re-establish assumptions after any backtracking.
@@ -184,17 +430,31 @@ class CdclSolver:
 
             variable = self._pick_branch_variable()
             if variable is None:
+                if len(self._trail) > stats.max_trail:
+                    stats.max_trail = len(self._trail)
                 model = {
                     var: self._assign[var] == 1 for var in range(1, self._num_vars + 1)
                 }
-                self._verify_model(model)
+                if config.verify_models:
+                    self._verify_model(model)
                 result = self._result(True, model)
                 self._backtrack(0)
                 return result
-            self._decisions += 1
-            self._new_decision_level()
+            stats.decisions += 1
+            if len(self._trail) > stats.max_trail:
+                stats.max_trail = len(self._trail)
+            self._trail_limits.append(len(self._trail))
             literal = variable if self._phase[variable] else -variable
-            self._enqueue(literal, reason=-1)
+            self._enqueue(literal, reason=None)
+
+    def _next_restart_limit(self) -> int:
+        """Conflicts allowed before the next restart, per the active policy."""
+        config = self.config
+        index = self._restarts_scheduled
+        self._restarts_scheduled += 1
+        if config.restart_policy == "luby":
+            return config.restart_base * luby(index)
+        return int(config.restart_base * config.restart_growth ** index)
 
     # ------------------------------------------------------------------
     # Internals: assignment and propagation
@@ -207,8 +467,8 @@ class CdclSolver:
                 continue
             if value is False:
                 return "conflict"
-            self._new_decision_level()
-            self._enqueue(literal, reason=-1)
+            self._trail_limits.append(len(self._trail))
+            self._enqueue(literal, reason=None)
             return "enqueued"
         return "done"
 
@@ -219,76 +479,167 @@ class CdclSolver:
         value = assigned == 1
         return value if literal > 0 else not value
 
-    def _enqueue(self, literal: Literal, reason: int) -> bool:
+    def _enqueue(self, literal: Literal, reason: Clause | None) -> bool:
         value = self._literal_value(literal)
         if value is not None:
             return value
         variable = abs(literal)
         self._assign[variable] = 1 if literal > 0 else 0
-        self._level[variable] = self._decision_level()
+        self._level[variable] = len(self._trail_limits)
         self._reason[variable] = reason
         self._phase[variable] = literal > 0
         self._trail.append(literal)
         return True
 
-    def _propagate(self) -> list[Literal] | None:
-        """Unit propagation; returns a conflicting clause or None."""
-        while self._queue_head < len(self._trail):
-            literal = self._trail[self._queue_head]
-            self._queue_head += 1
-            self._propagations += 1
-            falsified = -literal
-            watch_list = self._watches.get(falsified, [])
-            new_watch_list: list[int] = []
-            conflict: list[Literal] | None = None
-            for position, clause_index in enumerate(watch_list):
-                clause = self._clauses[clause_index]
+    def _propagate(self) -> Clause | None:
+        """Unit propagation; returns a conflicting clause or None.
+
+        Binary clauses propagate through dedicated implication lists (no
+        watch maintenance at all); longer clauses use blocking literals so
+        the common case — the visited clause is already satisfied elsewhere
+        — is a single list lookup with no clause access, and an in-place
+        two-pointer sweep compacts each watch list without allocating a
+        replacement.  Unit enqueues are inlined: the watched literal is
+        known to be unassigned at that point.
+        """
+        trail = self._trail
+        assign = self._assign
+        level = self._level
+        reason = self._reason
+        phase = self._phase
+        watches = self._watches
+        binary = self._binary
+        # Propagation never opens a decision level, so this is loop-invariant.
+        current_level = len(self._trail_limits)
+        head = self._queue_head
+        start = head
+        while head < len(trail):
+            literal = trail[head]
+            head += 1
+            if literal > 0:
+                falsified = -literal
+                code = (literal << 1) | 1
+            else:
+                falsified = -literal
+                code = falsified << 1
+            for implied, clause in binary[code]:
+                variable = implied if implied > 0 else -implied
+                value = assign[variable]
+                if value == _UNASSIGNED:
+                    assign[variable] = 1 if implied > 0 else 0
+                    level[variable] = current_level
+                    reason[variable] = clause
+                    phase[variable] = implied > 0
+                    trail.append(implied)
+                elif (value == 1) != (implied > 0):
+                    self._queue_head = head
+                    self._stats.propagations += head - start
+                    return clause
+            watch_list = watches[code]
+            keep = 0
+            position = 0
+            size = len(watch_list)
+            while position < size:
+                entry = watch_list[position]
+                position += 1
+                blocker = entry[1]
+                # Blocking literal already true: clause satisfied, keep as-is.
+                blocker_value = assign[blocker if blocker > 0 else -blocker]
+                if blocker_value != _UNASSIGNED and (blocker_value == 1) == (blocker > 0):
+                    watch_list[keep] = entry
+                    keep += 1
+                    continue
+                clause = entry[0]
                 # Ensure the falsified literal sits at position 1.
                 if clause[0] == falsified:
-                    clause[0], clause[1] = clause[1], clause[0]
+                    clause[0] = clause[1]
+                    clause[1] = falsified
                 first = clause[0]
-                if self._literal_value(first) is True:
-                    new_watch_list.append(clause_index)
+                first_variable = first if first > 0 else -first
+                first_value = assign[first_variable]
+                if first_value != _UNASSIGNED and (first_value == 1) == (first > 0):
+                    watch_list[keep] = (clause, first)
+                    keep += 1
                     continue
                 moved = False
-                for alternative_index in range(2, len(clause)):
-                    alternative = clause[alternative_index]
-                    if self._literal_value(alternative) is not False:
-                        clause[1], clause[alternative_index] = clause[alternative_index], clause[1]
-                        self._watch(clause[1], clause_index)
+                for alt_index in range(2, len(clause)):
+                    alternative = clause[alt_index]
+                    alt_value = assign[alternative if alternative > 0 else -alternative]
+                    if alt_value == _UNASSIGNED or (alt_value == 1) == (alternative > 0):
+                        clause[1] = alternative
+                        clause[alt_index] = falsified
+                        if alternative > 0:
+                            watches[alternative << 1].append((clause, first))
+                        else:
+                            watches[(-alternative << 1) | 1].append((clause, first))
                         moved = True
                         break
                 if moved:
                     continue
-                new_watch_list.append(clause_index)
-                if self._literal_value(first) is False:
-                    conflict = clause
-                    new_watch_list.extend(watch_list[position + 1:])
-                    break
-                self._enqueue(first, reason=clause_index)
-            self._watches[falsified] = new_watch_list
-            if conflict is not None:
-                return conflict
+                watch_list[keep] = (clause, first)
+                keep += 1
+                if first_value != _UNASSIGNED:
+                    # Conflict: slide the unvisited tail down and stop.
+                    watch_list[keep:] = watch_list[position:size]
+                    self._queue_head = head
+                    self._stats.propagations += head - start
+                    return clause
+                # Unit: ``first`` is unassigned — inline the enqueue.
+                assign[first_variable] = 1 if first > 0 else 0
+                level[first_variable] = current_level
+                reason[first_variable] = clause
+                phase[first_variable] = first > 0
+                trail.append(first)
+            del watch_list[keep:]
+        self._queue_head = head
+        self._stats.propagations += head - start
         return None
 
-    def _watch(self, literal: Literal, clause_index: int) -> None:
-        self._watches.setdefault(literal, []).append(clause_index)
+    def _watch(self, literal: Literal, clause: Clause, blocker: Literal) -> None:
+        if literal > 0:
+            self._watches[literal << 1].append((clause, blocker))
+        else:
+            self._watches[(-literal << 1) | 1].append((clause, blocker))
+
+    def _watch_binary(self, clause: Clause) -> None:
+        """Register a two-literal clause in both implication lists."""
+        first, second = clause[0], clause[1]
+        for falsified, implied in ((first, second), (second, first)):
+            if falsified > 0:
+                self._binary[falsified << 1].append((implied, clause))
+            else:
+                self._binary[(-falsified << 1) | 1].append((implied, clause))
+
+    def _unwatch(self, literal: Literal, clause: Clause) -> None:
+        watch_list = (
+            self._watches[literal << 1]
+            if literal > 0
+            else self._watches[(-literal << 1) | 1]
+        )
+        for index, (watched, _) in enumerate(watch_list):
+            if watched is clause:
+                watch_list[index] = watch_list[-1]
+                watch_list.pop()
+                return
+        raise RuntimeError("internal solver error: clause missing from watch list")
 
     # ------------------------------------------------------------------
     # Internals: conflict analysis
     # ------------------------------------------------------------------
-    def _analyze(self, conflict: list[Literal]) -> tuple[list[Literal], int]:
-        """First-UIP analysis: returns (learned clause, backjump level)."""
-        current_level = self._decision_level()
+    def _analyze(self, conflict: Clause) -> tuple[list[Literal], int, int]:
+        """First-UIP analysis: returns (learned clause, backjump level, LBD)."""
+        current_level = len(self._trail_limits)
         learned: list[Literal] = []
         seen: set[int] = set()
         counter = 0
-        clause: list[Literal] | None = conflict
+        clause: Clause | None = conflict
         trail_index = len(self._trail) - 1
         asserting_literal: Literal | None = None
 
         while True:
             assert clause is not None
+            if clause.learned:
+                self._bump_clause(clause)
             for literal in clause:
                 variable = abs(literal)
                 if variable in seen or self._level[variable] == 0:
@@ -312,51 +663,95 @@ class CdclSolver:
             if counter == 0:
                 asserting_literal = -literal
                 break
-            reason_index = self._reason[variable]
-            clause = self._clauses[reason_index] if reason_index >= 0 else []
+            clause = self._reason[variable]
 
         learned.insert(0, asserting_literal)
         if len(learned) == 1:
             backjump = 0
         else:
             backjump = max(self._level[abs(lit)] for lit in learned[1:])
-        self._bump *= 1.0 / self._decay
-        if self._bump > 1e100:
-            self._rescale_activity()
-        return learned, backjump
+        lbd = len({self._level[abs(lit)] for lit in learned})
+        return learned, backjump, lbd
 
-    def _handle_learned(self, learned: list[Literal], backjump: int) -> bool:
+    def _handle_learned(self, learned: list[Literal], backjump: int, lbd: int) -> bool:
         """Backjump, install the learned clause, and assert its first literal."""
         self._backtrack(backjump)
+        self._stats.learned_clauses += 1
         if len(learned) == 1:
-            if not self._enqueue(learned[0], reason=-1):
-                return False
-            return True
+            return self._enqueue(learned[0], reason=None)
         # Keep the two-watched-literal invariant: the second watcher must be a
         # literal assigned at the backjump level so that un-assigning it later
         # re-triggers a visit of this clause.
         deepest = max(range(1, len(learned)), key=lambda i: self._level[abs(learned[i])])
         learned[1], learned[deepest] = learned[deepest], learned[1]
-        index = len(self._clauses)
-        self._clauses.append(learned)
-        self._watch(learned[0], index)
-        self._watch(learned[1], index)
-        return self._enqueue(learned[0], reason=index)
+        stored = Clause(learned, learned=True, lbd=lbd)
+        stored.activity = self._clause_inc
+        self._learned.append(stored)
+        if len(stored) == 2:
+            self._watch_binary(stored)
+        else:
+            self._watch(stored[0], stored, stored[1])
+            self._watch(stored[1], stored, stored[0])
+        return self._enqueue(stored[0], reason=stored)
+
+    def _reduce_db(self) -> int:
+        """Forget the worst learned clauses; returns how many were deleted.
+
+        Called at restart points (so the trail is short), this removes
+        ``reduce_fraction`` of the *forgettable* learned clauses, worst
+        first — highest LBD, then lowest activity.  Three classes are
+        pinned and never deleted:
+
+        - **reason clauses** of any currently-assigned variable (deleting
+          one would orphan the implication graph),
+        - **glue clauses** (LBD <= ``glue_lbd``), which encode tight
+          cross-level dependencies and are cheap to keep,
+        - **binary clauses**, whose watch cost is negligible.
+        """
+        locked = {
+            id(reason) for reason in self._reason if reason is not None and reason.learned
+        }
+        config = self.config
+        forgettable = [
+            clause
+            for clause in self._learned
+            if id(clause) not in locked
+            and clause.lbd > config.glue_lbd
+            and len(clause) > 2
+        ]
+        victims = int(len(forgettable) * config.reduce_fraction)
+        if victims == 0:
+            self._reduce_limit += config.reduce_growth
+            return 0
+        forgettable.sort(key=lambda clause: (-clause.lbd, clause.activity))
+        doomed = {id(clause) for clause in forgettable[:victims]}
+        for clause in forgettable[:victims]:
+            self._unwatch(clause[0], clause)
+            self._unwatch(clause[1], clause)
+        self._learned = [clause for clause in self._learned if id(clause) not in doomed]
+        self._stats.deleted_clauses += victims
+        self._reduce_limit += config.reduce_growth
+        return victims
 
     def _verify_model(self, model: dict[int, bool]) -> None:
-        """Sanity check: every clause must be satisfied by the model."""
-        for clause in self._clauses:
+        """Sanity check: every problem clause must be satisfied by the model."""
+        for clause in self._problem:
             if not any(model[abs(lit)] == (lit > 0) for lit in clause):
                 raise RuntimeError(
                     "internal solver error: model does not satisfy a clause"
                 )
 
     def _bump_activity(self, variable: int) -> None:
-        self._activity[variable] += self._bump
+        if self._heap.bump(variable, self._var_inc) > _ACTIVITY_LIMIT:
+            self._heap.rescale(_ACTIVITY_RESCALE)
+            self._var_inc *= _ACTIVITY_RESCALE
 
-    def _rescale_activity(self) -> None:
-        self._activity = [a * 1e-100 for a in self._activity]
-        self._bump *= 1e-100
+    def _bump_clause(self, clause: Clause) -> None:
+        clause.activity += self._clause_inc
+        if clause.activity > _CLAUSE_ACTIVITY_LIMIT:
+            for learned in self._learned:
+                learned.activity *= _CLAUSE_ACTIVITY_RESCALE
+            self._clause_inc *= _CLAUSE_ACTIVITY_RESCALE
 
     # ------------------------------------------------------------------
     # Internals: decisions, backtracking
@@ -364,43 +759,57 @@ class CdclSolver:
     def _decision_level(self) -> int:
         return len(self._trail_limits)
 
-    def _new_decision_level(self) -> None:
-        self._trail_limits.append(len(self._trail))
-
     def _backtrack(self, level: int) -> None:
-        if self._decision_level() <= level:
+        if len(self._trail_limits) <= level:
             return
         limit = self._trail_limits[level]
-        for literal in reversed(self._trail[limit:]):
-            variable = abs(literal)
-            self._assign[variable] = _UNASSIGNED
-            self._reason[variable] = -1
+        assign = self._assign
+        reason = self._reason
+        tail = self._trail[limit:]
+        for literal in tail:
+            variable = literal if literal > 0 else -literal
+            assign[variable] = _UNASSIGNED
+            reason[variable] = None
+        self._heap.push_many(tail)
         del self._trail[limit:]
         del self._trail_limits[level:]
         self._queue_head = min(self._queue_head, len(self._trail))
 
     def _pick_branch_variable(self) -> int | None:
-        best_variable = None
-        best_activity = -1.0
-        for variable in range(1, self._num_vars + 1):
-            if self._assign[variable] == _UNASSIGNED and self._activity[variable] > best_activity:
-                best_variable = variable
-                best_activity = self._activity[variable]
-        return best_variable
+        heap = self._heap
+        assign = self._assign
+        while True:
+            variable = heap.pop()
+            if variable is None or assign[variable] == _UNASSIGNED:
+                return variable
 
     def _result(self, satisfiable: bool, model: dict[int, bool] | None = None) -> SolverResult:
+        snapshot = self.stats()
         return SolverResult(
             satisfiable=satisfiable,
             model=model,
-            conflicts=self._conflicts,
-            decisions=self._decisions,
-            propagations=self._propagations,
+            conflicts=snapshot.conflicts,
+            decisions=snapshot.decisions,
+            propagations=snapshot.propagations,
+            stats=snapshot,
         )
 
 
-def solve_cnf(cnf: CNF, assumptions: list[Literal] | None = None) -> SolverResult:
+def solve_cnf(
+    cnf: CNF,
+    assumptions: list[Literal] | None = None,
+    config: SolverConfig | None = None,
+) -> SolverResult:
     """One-shot convenience wrapper: build a solver, load ``cnf``, solve."""
-    return CdclSolver(cnf).solve(assumptions)
+    return CdclSolver(cnf, config=config).solve(assumptions)
 
 
-__all__ = ["CdclSolver", "SolverResult", "solve_cnf"]
+__all__ = [
+    "RESTART_POLICIES",
+    "CdclSolver",
+    "SolverConfig",
+    "SolverResult",
+    "SolverStats",
+    "luby",
+    "solve_cnf",
+]

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.circuits.netlist import Netlist
 from repro.sat.cnf import Literal
+from repro.sat.solver import SolverConfig, SolverStats
 from repro.sat.unroll import TimeFrameExpansion
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep the sat layer cycle-free
@@ -170,9 +171,10 @@ class SequentialJustifier:
         netlist: Netlist,
         cycles: int = 1,
         initial_state: dict[str, int] | None = None,
+        config: SolverConfig | None = None,
     ) -> None:
         self.netlist = netlist
-        self.expansion = TimeFrameExpansion(netlist, cycles, initial_state)
+        self.expansion = TimeFrameExpansion(netlist, cycles, initial_state, config=config)
         self._initial_state = dict(initial_state) if initial_state else None
         self._conditions: dict[tuple, list[Literal]] = {}
         self._chains: dict[tuple, _TemporalChain] = {}
@@ -195,6 +197,15 @@ class SequentialJustifier:
     def num_queries(self) -> int:
         """Number of SAT queries issued so far."""
         return self.expansion.num_queries
+
+    @property
+    def config(self) -> SolverConfig:
+        """The solver configuration of the underlying expansion."""
+        return self.expansion.config
+
+    def stats(self) -> SolverStats:
+        """Cumulative solver statistics across every query so far."""
+        return self.expansion.stats()
 
     def extend_to(self, cycles: int) -> "SequentialJustifier":
         """Deepen the unroll to ``cycles`` frames (incremental; no-op if enough)."""
@@ -222,6 +233,26 @@ class SequentialJustifier:
         if fired is None:
             return False
         return self.expansion.solve([fired]).satisfiable
+
+    def satisfying_model(
+        self, trigger: SequentialTrigger, cycles: int | None = None
+    ) -> dict[int, bool] | None:
+        """Raw SAT model of one firing query, or None if it cannot fire.
+
+        Unlike :meth:`witness` this neither decodes nor replays the model —
+        it is the cheap building block for callers that mine a model for
+        *additional* rare-net activations (see
+        :meth:`repro.core.sequence_gen.SequentialCompatibility
+        .satisfiable_superset`).  Phase preferences are applied: they never
+        change the verdict, only which model comes back, and the biased
+        model is exactly the activation-rich one worth mining.
+        """
+        fired = self._fired_by(trigger, self._horizon(trigger, cycles))
+        if fired is None:
+            return None
+        self._apply_preferred()
+        result = self.expansion.solve([fired])
+        return result.model if result.satisfiable else None
 
     def witness(
         self,

@@ -41,7 +41,7 @@ from repro.circuits.netlist import Netlist
 from repro.circuits.scan import ensure_combinational, sequential_interface
 from repro.sat.cnf import Literal
 from repro.sat.encode import CircuitEncoder
-from repro.sat.solver import CdclSolver, SolverResult
+from repro.sat.solver import CdclSolver, SolverConfig, SolverResult, SolverStats
 
 
 class TimeFrameExpansion:
@@ -52,6 +52,7 @@ class TimeFrameExpansion:
         netlist: Netlist,
         num_frames: int = 1,
         initial_state: dict[str, int] | None = None,
+        config: SolverConfig | None = None,
     ) -> None:
         if not netlist.is_sequential:
             raise ValueError(
@@ -66,7 +67,8 @@ class TimeFrameExpansion:
         self._encoder = CircuitEncoder(self._core)
         self._template = self._encoder.cnf
         self._frame_size = self._template.num_vars
-        self._solver = CdclSolver()
+        self.config = config or SolverConfig()
+        self._solver = CdclSolver(config=self.config)
         self._frame_base: list[int] = []
         self._next_var = 0
         self.num_queries = 0
@@ -172,6 +174,10 @@ class TimeFrameExpansion:
         """Solve the unrolled formula under optional assumption literals."""
         self.num_queries += 1
         return self._solver.solve(assumptions)
+
+    def stats(self) -> SolverStats:
+        """Cumulative solver statistics across every query so far."""
+        return self._solver.stats()
 
     def decode_inputs(self, model: dict[int, bool]) -> np.ndarray:
         """Per-cycle primary-input values of a model.
