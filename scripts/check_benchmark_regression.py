@@ -88,6 +88,32 @@ def compare(
     return warnings
 
 
+def _load_json(path: Path, role: str) -> dict | None:
+    """Read a JSON dict from ``path``; a clean error (not a traceback) on bad input.
+
+    Unreadable inputs exit 1 (per the module contract) — unlike a *missing
+    baseline*, which is the normal first-run state and skips the check —
+    because a malformed file in either role means the comparison silently
+    checked nothing.
+    """
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        print(f"error: cannot read {role} {path}: {error}", file=sys.stderr)
+        return None
+    except json.JSONDecodeError as error:
+        print(f"error: {role} {path} is not valid JSON: {error}", file=sys.stderr)
+        return None
+    if not isinstance(data, dict):
+        print(
+            f"error: {role} {path} must contain a JSON object, "
+            f"got {type(data).__name__}",
+            file=sys.stderr,
+        )
+        return None
+    return data
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", type=Path, help="pytest-benchmark JSON report")
@@ -102,7 +128,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = json.loads(args.report.read_text())
+    report = _load_json(args.report, "benchmark report")
+    if report is None:
+        return 1
     current = extract_metrics(report)
 
     if args.update_baseline:
@@ -114,7 +142,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no baseline at {args.baseline}; skipping regression check")
         return 0
 
-    baseline = json.loads(args.baseline.read_text())
+    baseline = _load_json(args.baseline, "baseline")
+    if baseline is None:
+        return 1
     warnings = compare(current, baseline, args.threshold)
     if warnings:
         for line in warnings:

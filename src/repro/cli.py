@@ -4,6 +4,7 @@ Subcommands:
 
 - ``deterrent list`` — show every registered experiment.
 - ``deterrent run <experiment> [--profile tiny|quick|full] [--jobs N]
+  [--backend serial|process|thread] [--cell-timeout S] [--max-attempts N]
   [--cache-dir DIR] [--results-dir DIR] [--set key=value ...]`` — execute an
   experiment through the runner and print its paper-vs-measured report.
 - ``deterrent report [<experiment>] [--results-dir DIR]`` — list saved runs,
@@ -27,7 +28,8 @@ import sys
 from pathlib import Path
 from typing import Any
 
-from repro.experiments.reporting import format_table, results_dir
+from repro.experiments.reporting import format_table, resilience_summary, results_dir
+from repro.runner.backends import BACKEND_NAMES
 
 
 def _parse_option(text: str) -> tuple[str, Any]:
@@ -61,7 +63,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes for grid cells (1 = serial, 0 = all CPUs)",
+        help="workers for grid cells (1 = serial, 0 = all CPUs)",
+    )
+    run_parser.add_argument(
+        "--backend", default=None, choices=BACKEND_NAMES,
+        help="execution backend (default: serial for --jobs 1, process otherwise)",
+    )
+    run_parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock limit for one grid cell on pooled "
+             "backends (default: the experiment's own, else unlimited)",
+    )
+    run_parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="attempts per grid cell before degrading to the serial backend "
+             "(default: the experiment's own, else 3)",
     )
     run_parser.add_argument(
         "--cache-dir", default=None,
@@ -138,9 +154,20 @@ def _command_list() -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     from repro.runner.execution import run_experiment
+    from repro.runner.resilience import ResiliencePolicy
 
     target_dir = Path(args.results_dir) if args.results_dir else results_dir()
     try:
+        # An explicit CLI policy replaces the experiment's own cell
+        # defaults wholesale (policy_for_spec's contract).
+        resilience = None
+        if args.cell_timeout is not None or args.max_attempts is not None:
+            policy_kwargs: dict[str, Any] = {}
+            if args.cell_timeout is not None:
+                policy_kwargs["timeout"] = args.cell_timeout
+            if args.max_attempts is not None:
+                policy_kwargs["max_attempts"] = args.max_attempts
+            resilience = ResiliencePolicy(**policy_kwargs)
         run = run_experiment(
             args.experiment,
             profile=args.profile,
@@ -148,9 +175,12 @@ def _command_run(args: argparse.Namespace) -> int:
             options=dict(args.options),
             cache_dir=args.cache_dir,
             results_dir=target_dir,
+            backend=args.backend,
+            resilience=resilience,
         )
     except (KeyError, ValueError) as error:
-        # Unknown experiment/profile/option: a usage error, not a crash.
+        # Unknown experiment/profile/option/backend or a bad policy value:
+        # a usage error, not a crash.
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
         return 2
@@ -159,6 +189,7 @@ def _command_run(args: argparse.Namespace) -> int:
         f"\n{run.experiment} [{run.profile}] finished in {run.elapsed:.1f}s "
         f"({len(run.outcomes)} cells, jobs={run.jobs})"
     )
+    print(resilience_summary(run.resilience))
     if run.cache_stats is not None:
         print(
             f"artifact cache: {run.cache_stats['hits']} hits, "

@@ -78,4 +78,44 @@ def results_dir() -> Path:
     return Path("results")
 
 
-__all__ = ["format_table", "save_json", "append_jsonl", "load_jsonl", "results_dir"]
+def resilience_summary(counters: dict | None) -> str:
+    """One report line for a run's retry/downgrade counters.
+
+    ``counters`` is the dict produced by
+    :meth:`repro.runner.resilience.ResilientOutcome.counters` (also stored
+    under the ``"resilience"`` key of a run record).  A clean run reads
+    ``execution: backend=process, clean`` so every report states which
+    backend produced it; a bumpy run itemises what happened, e.g.
+    ``execution: backend=process, retries=2 (crashes=1, timeouts=1),
+    degraded to serial (too many backend failures)``.
+    """
+    if not counters:
+        return "execution: no resilience data"
+    parts = [f"backend={counters.get('backend', '?')}"]
+    retries = counters.get("retries", 0)
+    if retries:
+        causes = ", ".join(
+            f"{key}={counters[key]}"
+            for key in ("crashes", "timeouts", "errors", "corrupt")
+            if counters.get(key)
+        )
+        parts.append(f"retries={retries}" + (f" ({causes})" if causes else ""))
+    if counters.get("degraded"):
+        reason = counters.get("degraded_reason")
+        parts.append(
+            f"degraded to {counters.get('final_backend', 'serial')}"
+            + (f" ({reason})" if reason else "")
+        )
+    if len(parts) == 1:
+        parts.append("clean")
+    return "execution: " + ", ".join(parts)
+
+
+__all__ = [
+    "format_table",
+    "save_json",
+    "append_jsonl",
+    "load_jsonl",
+    "resilience_summary",
+    "results_dir",
+]

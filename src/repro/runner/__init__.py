@@ -11,10 +11,25 @@ per-harness scripts used to re-implement ad hoc:
   fingerprint + configuration fingerprint.
 - :mod:`repro.runner.registry` — declarative specs for every experiment
   harness (name, module, grid cells).
-- :mod:`repro.runner.execution` — the runner that executes grid cells
-  serially or across worker processes and streams structured JSON results.
+- :mod:`repro.runner.execution` — the runner that executes grid cells on a
+  pluggable backend and streams structured JSON results.
+- :mod:`repro.runner.backends` — the execution-backend seam: serial,
+  process-pool, and thread-pool implementations of one executor protocol.
+- :mod:`repro.runner.resilience` — retries with deterministic backoff,
+  per-attempt timeouts, crash resubmission, and graceful degradation to the
+  serial backend.
+- :mod:`repro.runner.faults` — deterministic fault injection (scripted
+  crash/hang/corrupt/error) for chaos-testing every recovery path above.
 """
 
+from repro.runner.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+)
 from repro.runner.cache import (
     ArtifactCache,
     config_fingerprint,
@@ -23,6 +38,7 @@ from repro.runner.cache import (
     set_default_cache,
 )
 from repro.runner.execution import CellOutcome, ExperimentRun, ExperimentRunner, run_experiment
+from repro.runner.faults import CorruptResult, FaultPlan, FaultRule, SimulatedCrash
 from repro.runner.parallel import (
     CompatibilityShard,
     make_shards,
@@ -31,6 +47,12 @@ from repro.runner.parallel import (
     serial_compatibility_matrix,
 )
 from repro.runner.registry import ExperimentSpec, all_experiments, get_experiment
+from repro.runner.resilience import (
+    ResilienceError,
+    ResiliencePolicy,
+    ResilientOutcome,
+    run_tasks,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -38,6 +60,20 @@ __all__ = [
     "get_default_cache",
     "netlist_fingerprint",
     "set_default_cache",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "resolve_backend",
+    "CorruptResult",
+    "FaultPlan",
+    "FaultRule",
+    "SimulatedCrash",
+    "ResilienceError",
+    "ResiliencePolicy",
+    "ResilientOutcome",
+    "run_tasks",
     "CompatibilityShard",
     "make_shards",
     "parallel_compatibility_matrix",

@@ -1,16 +1,23 @@
-"""The experiment runner: executes registry grid cells, serially or sharded.
+"""The experiment runner: executes registry grid cells on a pluggable backend.
 
 ``ExperimentRunner.run("figure5")`` asks the experiment's module for its grid
-cells, executes each cell either in-process (``jobs=1``, sharing the
-in-memory benchmark-context cache) or across a ``ProcessPoolExecutor``
-(``jobs>1``, sharing work through the on-disk artifact cache), streams one
-structured JSON record per completed cell through
-:mod:`repro.experiments.reporting`, and hands the ordered cell results to the
-module's ``collect``/``report`` hooks.
+cells, executes each cell on an :class:`~repro.runner.backends
+.ExecutionBackend` — in-process (``backend="serial"``, the ``jobs=1``
+default, sharing the in-memory benchmark-context cache), across worker
+processes (``backend="process"``, the ``jobs>1`` default), or worker threads
+(``backend="thread"``) — streams one structured JSON record per completed
+cell through :mod:`repro.experiments.reporting`, and hands the ordered cell
+results to the module's ``collect``/``report`` hooks.
+
+Execution is fault tolerant (:mod:`repro.runner.resilience`): crashed or
+hung workers are detected, their cells retried with deterministic backoff,
+and after repeated backend failures the run downgrades to the serial
+backend and finishes anyway — the retry/downgrade counters land in the run
+record.
 
 This replaces the per-harness orchestration loops: a harness only declares
 *what* its cells are and how to run one; scheduling, parallelism, caching,
-and result persistence live here.
+robustness, and result persistence live here.
 """
 
 from __future__ import annotations
@@ -18,14 +25,16 @@ from __future__ import annotations
 import importlib
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, is_dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.runner.backends import ExecutionBackend, resolve_backend
 from repro.runner.cache import get_default_cache, set_default_cache
+from repro.runner.faults import FaultPlan
 from repro.runner.parallel import resolve_jobs
 from repro.runner.registry import ExperimentSpec, GridCell, get_experiment
+from repro.runner.resilience import ResiliencePolicy, policy_for_spec, run_tasks
 
 
 @dataclass
@@ -52,6 +61,8 @@ class ExperimentRun:
     elapsed: float
     cache_stats: dict[str, int] | None = None
     results_path: Path | None = None
+    backend: str = "serial"
+    resilience: dict[str, Any] | None = None
 
     def record(self) -> dict[str, Any]:
         """JSON-ready summary of the whole run (cells + rendered report)."""
@@ -59,9 +70,11 @@ class ExperimentRun:
             "experiment": self.experiment,
             "profile": self.profile,
             "jobs": self.jobs,
+            "backend": self.backend,
             "options": _jsonable(self.options),
             "elapsed_seconds": round(self.elapsed, 3),
             "cache_stats": self.cache_stats,
+            "resilience": self.resilience,
             "cells": [
                 {
                     "cell": outcome.name,
@@ -132,10 +145,10 @@ def _execute_cell(
 
 
 class ExperimentRunner:
-    """Executes registered experiments over a worker pool.
+    """Executes registered experiments over a pluggable execution backend.
 
     Args:
-        jobs: worker processes for grid cells (1 = in-process serial;
+        jobs: workers for grid cells (1 = in-process serial;
             <= 0 = one per CPU).
         cache_dir: artifact-cache directory installed as the process-wide
             default for this run and for every worker (None keeps the
@@ -143,6 +156,15 @@ class ExperimentRunner:
         results_dir: when set, the runner streams one JSON line per completed
             cell to ``<results_dir>/<experiment>-<profile>.jsonl`` and writes
             the full run record to ``<experiment>-<profile>.json``.
+        backend: execution backend — a name (``"serial"``, ``"process"``,
+            ``"thread"``) or an :class:`ExecutionBackend` instance.  None
+            keeps the historical default: serial for ``jobs=1``, the
+            process pool otherwise.
+        resilience: retry/timeout policy for cell execution; per-spec
+            ``cell_timeout``/``cell_max_attempts`` overrides are folded in
+            at run time.  None uses :class:`ResiliencePolicy` defaults.
+        fault_plan: scripted faults for chaos testing (see
+            :mod:`repro.runner.faults`); None in production.
     """
 
     def __init__(
@@ -150,8 +172,14 @@ class ExperimentRunner:
         jobs: int = 1,
         cache_dir: str | Path | None = None,
         results_dir: str | Path | None = None,
+        backend: ExecutionBackend | str | None = None,
+        resilience: ResiliencePolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.jobs = 1 if jobs == 1 else resolve_jobs(jobs)
+        self.backend = resolve_backend(backend, jobs=self.jobs)
+        self.resilience = resilience
+        self.fault_plan = fault_plan
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.results_dir = Path(results_dir) if results_dir is not None else None
         if self.cache_dir is not None:
@@ -203,20 +231,20 @@ class ExperimentRunner:
                     cache_stats[key] += value
             outcomes.append(self._record_cell(spec, profile, cell, result, elapsed, stream_path))
 
-        if self.jobs == 1:
-            for cell in cells:
-                _absorb(cell, _execute_cell(spec.module, cell, profile))
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(cells)),
-                initializer=_init_cell_worker,
-                initargs=(list(sys.path), self.cache_dir),
-            ) as pool:
-                futures = [
-                    pool.submit(_execute_cell, spec.module, cell, profile) for cell in cells
-                ]
-                for cell, future in zip(cells, futures):
-                    _absorb(cell, future.result())
+        policy = policy_for_spec(self.resilience, spec.cell_timeout, spec.cell_max_attempts)
+        execution = run_tasks(
+            _execute_cell,
+            [(spec.module, cell, profile) for cell in cells],
+            backend=self.backend,
+            policy=policy,
+            initializer=_init_cell_worker,
+            initargs=(list(sys.path), self.cache_dir),
+            max_workers=min(self.jobs, len(cells)),
+            fault_plan=self.fault_plan,
+            label="cell",
+        )
+        for cell, payload in zip(cells, execution.results):
+            _absorb(cell, payload)
 
         collected = module.collect([outcome.result for outcome in outcomes])
         report_text = module.report(collected)
@@ -232,6 +260,8 @@ class ExperimentRunner:
             report_text=report_text,
             elapsed=elapsed,
             cache_stats=cache_stats,
+            backend=self.backend.name,
+            resilience=execution.counters(),
         )
         if self.results_dir is not None:
             from repro.experiments.reporting import save_json
@@ -277,9 +307,19 @@ def run_experiment(
     options: dict[str, Any] | None = None,
     cache_dir: str | Path | None = None,
     results_dir: str | Path | None = None,
+    backend: ExecutionBackend | str | None = None,
+    resilience: ResiliencePolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ExperimentRun:
     """One-shot convenience wrapper around :class:`ExperimentRunner`."""
-    runner = ExperimentRunner(jobs=jobs, cache_dir=cache_dir, results_dir=results_dir)
+    runner = ExperimentRunner(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        results_dir=results_dir,
+        backend=backend,
+        resilience=resilience,
+        fault_plan=fault_plan,
+    )
     return runner.run(experiment, profile=profile, options=options)
 
 

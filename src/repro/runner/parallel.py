@@ -56,19 +56,30 @@ and obtain the same verdicts the full run would have produced.
 Netlists travel to workers as canonical ``.bench`` text (compact, and avoids
 pickling memoised derived structures); each worker re-encodes the CNF once in
 its initializer and answers all its shards incrementally.
+
+Where the shards *run* is pluggable: every entry point routes through
+:func:`repro.runner.resilience.run_tasks` over an
+:class:`~repro.runner.backends.ExecutionBackend` (process pool by default,
+thread pool or in-process serial on request), which also supplies per-shard
+retry with deterministic backoff, per-attempt timeouts, crash recovery, and
+graceful degradation to the serial backend.  Worker solver stacks are
+thread-local, so the same initializer contract holds under every backend.
 """
 
 from __future__ import annotations
 
 import os
 import sys
-from concurrent.futures import ProcessPoolExecutor
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.circuits.bench_io import dumps_bench, loads_bench
 from repro.circuits.netlist import Netlist
+from repro.runner.backends import ExecutionBackend
+from repro.runner.faults import FaultPlan
+from repro.runner.resilience import ResiliencePolicy, run_tasks
 from repro.sat.justify import Justifier, greedy_maximal_subset
 from repro.sat.solver import SolverConfig
 
@@ -170,10 +181,13 @@ def serial_compatibility_matrix(
 
 
 # ----------------------------------------------------------------------
-# Worker-process state
+# Worker state
 # ----------------------------------------------------------------------
-_WORKER_JUSTIFIER: Justifier | None = None
-_WORKER_REQUIREMENTS: list[Requirement] = []
+# Thread-local so every worker owns a private solver stack under *any*
+# backend: a process-pool worker (initializer and tasks share the worker's
+# main thread), a thread-pool worker (initializer runs once per thread),
+# and the in-process serial fallback all see their own state.
+_WORKER_STATE = threading.local()
 
 
 def _init_compat_worker(
@@ -190,24 +204,63 @@ def _init_compat_worker(
     ``solver_config`` (a picklable frozen dataclass) replicates the parent's
     solver tuning on the worker's private stack.
     """
-    global _WORKER_JUSTIFIER, _WORKER_REQUIREMENTS
     for path in search_paths:
         if path not in sys.path:
             sys.path.append(path)
-    _WORKER_JUSTIFIER = Justifier(loads_bench(bench_text, name=name), config=solver_config)
-    _WORKER_REQUIREMENTS = requirements
+    _WORKER_STATE.justifier = Justifier(
+        loads_bench(bench_text, name=name), config=solver_config
+    )
+    _WORKER_STATE.requirements = requirements
+
+
+def _worker_justifier() -> Justifier:
+    justifier = getattr(_WORKER_STATE, "justifier", None)
+    assert justifier is not None, "worker initializer did not run"
+    return justifier
 
 
 def _run_shard(shard: CompatibilityShard) -> list[tuple[int, int, bool]]:
     """Answer every pair query of one shard on the worker's own solver."""
-    assert _WORKER_JUSTIFIER is not None, "worker initializer did not run"
+    justifier = _worker_justifier()
+    requirements = _WORKER_STATE.requirements
     results: list[tuple[int, int, bool]] = []
     for i, j in shard.pairs:
-        net_i, value_i = _WORKER_REQUIREMENTS[i]
-        net_j, value_j = _WORKER_REQUIREMENTS[j]
-        compatible = _WORKER_JUSTIFIER.are_compatible({net_i: value_i}, {net_j: value_j})
+        net_i, value_i = requirements[i]
+        net_j, value_j = requirements[j]
+        compatible = justifier.are_compatible({net_i: value_i}, {net_j: value_j})
         results.append((i, j, compatible))
     return results
+
+
+def _run_sharded(
+    shard_fn,
+    shards,
+    initializer,
+    initargs: tuple,
+    n_jobs: int,
+    backend: ExecutionBackend | str | None,
+    resilience: ResiliencePolicy | None,
+    fault_plan: FaultPlan | None,
+) -> list:
+    """Drive one sharded stage through the backend + resilience seam.
+
+    Results come back in shard order.  ``backend=None`` keeps the
+    historical behaviour (a process pool for ``n_jobs > 1``); the per-shard
+    retry/backoff jitter is seeded from each shard's own deterministic
+    seed, honouring the shard→seed contract.
+    """
+    return run_tasks(
+        shard_fn,
+        [(shard,) for shard in shards],
+        backend=backend if backend is not None else "process",
+        policy=resilience,
+        initializer=initializer,
+        initargs=initargs,
+        max_workers=min(n_jobs, len(shards)),
+        seeds=[shard.seed for shard in shards],
+        fault_plan=fault_plan,
+        label="shard",
+    ).results
 
 
 def parallel_compatibility_matrix(
@@ -216,10 +269,15 @@ def parallel_compatibility_matrix(
     n_jobs: int,
     base_seed: int = 0,
     solver_config: SolverConfig | None = None,
+    backend: ExecutionBackend | str | None = None,
+    resilience: ResiliencePolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> np.ndarray:
-    """Compute the pairwise matrix across ``n_jobs`` worker processes.
+    """Compute the pairwise matrix across ``n_jobs`` backend workers.
 
-    Bit-identical to :func:`serial_compatibility_matrix` on the same inputs.
+    Bit-identical to :func:`serial_compatibility_matrix` on the same inputs,
+    under every backend and under any recoverable worker failure (verdicts
+    are exact, and the resilience layer re-runs lost shards).
     """
     n_jobs = resolve_jobs(n_jobs)
     count = len(requirements)
@@ -229,18 +287,18 @@ def parallel_compatibility_matrix(
         return matrix
     shards = make_shards(count, n_jobs * OVERSUBSCRIPTION, base_seed=base_seed)
     bench_text = dumps_bench(netlist)
-    with ProcessPoolExecutor(
-        max_workers=min(n_jobs, len(shards)),
-        initializer=_init_compat_worker,
-        initargs=(
+    shard_results = _run_sharded(
+        _run_shard, shards, _init_compat_worker,
+        (
             list(sys.path), bench_text, netlist.name, list(requirements),
             solver_config,
         ),
-    ) as pool:
-        for shard_result in pool.map(_run_shard, shards):
-            for i, j, compatible in shard_result:
-                matrix[i, j] = compatible
-                matrix[j, i] = compatible
+        n_jobs, backend, resilience, fault_plan,
+    )
+    for shard_result in shard_results:
+        for i, j, compatible in shard_result:
+            matrix[i, j] = compatible
+            matrix[j, i] = compatible
     return matrix
 
 
@@ -260,11 +318,12 @@ def serial_activatability(
 
 def _run_activatability_shard(shard: WorkShard) -> list[tuple[int, bool]]:
     """Answer one shard of single-net justifiability queries."""
-    assert _WORKER_JUSTIFIER is not None, "worker initializer did not run"
+    justifier = _worker_justifier()
+    requirements = _WORKER_STATE.requirements
     results: list[tuple[int, bool]] = []
     for item in shard.items:
-        net, value = _WORKER_REQUIREMENTS[item]
-        results.append((item, _WORKER_JUSTIFIER.is_satisfiable({net: value})))
+        net, value = requirements[item]
+        results.append((item, justifier.is_satisfiable({net: value})))
     return results
 
 
@@ -274,11 +333,15 @@ def parallel_activatability(
     n_jobs: int,
     base_seed: int = 0,
     solver_config: SolverConfig | None = None,
+    backend: ExecutionBackend | str | None = None,
+    resilience: ResiliencePolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[bool]:
-    """Shard the activatability pre-filter across worker processes.
+    """Shard the activatability pre-filter across backend workers.
 
     Verdicts are exact SAT answers, so the result is bit-identical to
-    :func:`serial_activatability` regardless of shard count.
+    :func:`serial_activatability` regardless of shard count, backend, or
+    recovered worker failures.
     """
     n_jobs = resolve_jobs(n_jobs)
     if not requirements:
@@ -288,17 +351,17 @@ def parallel_activatability(
     )
     verdicts = [False] * len(requirements)
     bench_text = dumps_bench(netlist)
-    with ProcessPoolExecutor(
-        max_workers=min(n_jobs, len(shards)),
-        initializer=_init_compat_worker,
-        initargs=(
+    shard_results = _run_sharded(
+        _run_activatability_shard, shards, _init_compat_worker,
+        (
             list(sys.path), bench_text, netlist.name, list(requirements),
             solver_config,
         ),
-    ) as pool:
-        for shard_result in pool.map(_run_activatability_shard, shards):
-            for item, verdict in shard_result:
-                verdicts[item] = verdict
+        n_jobs, backend, resilience, fault_plan,
+    )
+    for shard_result in shard_results:
+        for item, verdict in shard_result:
+            verdicts[item] = verdict
     return verdicts
 
 
@@ -306,8 +369,6 @@ def parallel_activatability(
 # Per-set witness generation (combinational patterns)
 # ----------------------------------------------------------------------
 OrderedRequirements = tuple[Requirement, ...]
-
-_WITNESS_SETS: list[OrderedRequirements] = []
 
 
 def _witness_with_repair(
@@ -344,26 +405,26 @@ def _init_witness_worker(
     solver_config: SolverConfig | None = None,
 ) -> None:
     """Build this worker's solver stack plus the shared witness work list."""
-    global _WORKER_JUSTIFIER, _WITNESS_SETS
     for path in search_paths:
         if path not in sys.path:
             sys.path.append(path)
-    _WORKER_JUSTIFIER = Justifier(
+    _WORKER_STATE.justifier = Justifier(
         loads_bench(bench_text, name=name),
         preferred_values=preferred_values or None,
         config=solver_config,
     )
-    _WITNESS_SETS = ordered_sets
+    _WORKER_STATE.witness_sets = ordered_sets
 
 
 def _run_witness_shard(
     shard: WorkShard,
 ) -> list[tuple[int, dict[str, int] | None, int]]:
     """Generate the witnesses of one shard of requirement sets."""
-    assert _WORKER_JUSTIFIER is not None, "worker initializer did not run"
+    justifier = _worker_justifier()
+    witness_sets = _WORKER_STATE.witness_sets
     results: list[tuple[int, dict[str, int] | None, int]] = []
     for item in shard.items:
-        witness, realized = _witness_with_repair(_WORKER_JUSTIFIER, _WITNESS_SETS[item])
+        witness, realized = _witness_with_repair(justifier, witness_sets[item])
         results.append((item, witness, realized))
     return results
 
@@ -375,8 +436,11 @@ def parallel_pattern_witnesses(
     preferred_values: dict[str, int] | None = None,
     base_seed: int = 0,
     solver_config: SolverConfig | None = None,
+    backend: ExecutionBackend | str | None = None,
+    resilience: ResiliencePolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[tuple[dict[str, int] | None, int]]:
-    """Generate one SAT witness per requirement set across worker processes.
+    """Generate one SAT witness per requirement set across backend workers.
 
     Every returned witness is a valid input pattern for its (possibly
     repaired) set; the concrete model may differ from the serial path's
@@ -391,29 +455,24 @@ def parallel_pattern_witnesses(
     )
     witnesses: list[tuple[dict[str, int] | None, int]] = [(None, 0)] * len(ordered_sets)
     bench_text = dumps_bench(netlist)
-    with ProcessPoolExecutor(
-        max_workers=min(n_jobs, len(shards)),
-        initializer=_init_witness_worker,
-        initargs=(
+    shard_results = _run_sharded(
+        _run_witness_shard, shards, _init_witness_worker,
+        (
             list(sys.path), bench_text, netlist.name,
             list(ordered_sets), dict(preferred_values or {}),
             solver_config,
         ),
-    ) as pool:
-        for shard_result in pool.map(_run_witness_shard, shards):
-            for item, witness, realized in shard_result:
-                witnesses[item] = (witness, realized)
+        n_jobs, backend, resilience, fault_plan,
+    )
+    for shard_result in shard_results:
+        for item, witness, realized in shard_result:
+            witnesses[item] = (witness, realized)
     return witnesses
 
 
 # ----------------------------------------------------------------------
 # Per-set sequence witnesses (temporal SAT, repro.core.sequence_gen)
 # ----------------------------------------------------------------------
-_SEQUENCE_JUSTIFIER = None
-_SEQUENCE_SETS: list[OrderedRequirements] = []
-_SEQUENCE_RULE: tuple[str, int] = ("consecutive", 1)
-
-
 def _init_sequence_worker(
     search_paths: list[str],
     bench_text: str,
@@ -427,7 +486,6 @@ def _init_sequence_worker(
     solver_config: SolverConfig | None = None,
 ) -> None:
     """Build this worker's unrolled solver stack for sequence witnesses."""
-    global _SEQUENCE_JUSTIFIER, _SEQUENCE_SETS, _SEQUENCE_RULE
     for path in search_paths:
         if path not in sys.path:
             sys.path.append(path)
@@ -439,21 +497,22 @@ def _init_sequence_worker(
     )
     if preferred_values:
         justifier.set_preferred_values(preferred_values)
-    _SEQUENCE_JUSTIFIER = justifier
-    _SEQUENCE_SETS = ordered_sets
-    _SEQUENCE_RULE = (mode, count)
+    _WORKER_STATE.sequence_justifier = justifier
+    _WORKER_STATE.sequence_sets = ordered_sets
+    _WORKER_STATE.sequence_rule = (mode, count)
 
 
 def _run_sequence_shard(shard: WorkShard) -> list[tuple[int, object, int, int]]:
     """Generate the sequence witnesses of one shard of requirement sets."""
-    assert _SEQUENCE_JUSTIFIER is not None, "worker initializer did not run"
+    justifier = getattr(_WORKER_STATE, "sequence_justifier", None)
+    assert justifier is not None, "worker initializer did not run"
     from repro.core.sequence_gen import sequence_witness_with_repair
 
-    mode, count = _SEQUENCE_RULE
+    mode, count = _WORKER_STATE.sequence_rule
     results: list[tuple[int, object, int, int]] = []
     for item in shard.items:
         sequence, fire_cycle, realized = sequence_witness_with_repair(
-            _SEQUENCE_JUSTIFIER, _SEQUENCE_SETS[item], mode, count
+            justifier, _WORKER_STATE.sequence_sets[item], mode, count
         )
         results.append((item, sequence, fire_cycle, realized))
     return results
@@ -470,6 +529,9 @@ def parallel_sequence_witnesses(
     initial_state: dict[str, int] | None = None,
     base_seed: int = 0,
     solver_config: SolverConfig | None = None,
+    backend: ExecutionBackend | str | None = None,
+    resilience: ResiliencePolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[tuple[object, int, int]]:
     """Generate one replay-verified sequence witness per set across workers.
 
@@ -487,19 +549,19 @@ def parallel_sequence_witnesses(
     )
     witnesses: list[tuple[object, int, int]] = [(None, -1, 0)] * len(ordered_sets)
     bench_text = dumps_bench(netlist)
-    with ProcessPoolExecutor(
-        max_workers=min(n_jobs, len(shards)),
-        initializer=_init_sequence_worker,
-        initargs=(
+    shard_results = _run_sharded(
+        _run_sequence_shard, shards, _init_sequence_worker,
+        (
             list(sys.path), bench_text, netlist.name, cycles, mode, count,
             list(ordered_sets), dict(preferred_values or {}),
             dict(initial_state) if initial_state else None,
             solver_config,
         ),
-    ) as pool:
-        for shard_result in pool.map(_run_sequence_shard, shards):
-            for item, sequence, fire_cycle, realized in shard_result:
-                witnesses[item] = (sequence, fire_cycle, realized)
+        n_jobs, backend, resilience, fault_plan,
+    )
+    for shard_result in shard_results:
+        for item, sequence, fire_cycle, realized in shard_result:
+            witnesses[item] = (sequence, fire_cycle, realized)
     return witnesses
 
 

@@ -300,3 +300,85 @@ class TestCompatibilityParity:
             small_multiplier, multiplier_rare_nets, n_workers=1, cache=None
         )
         assert serial.num_rare_nets > 0
+
+
+# Module level so the fork-based process stress test can reference it by name.
+def _stress_fetch(cache_root: str, count_file: str, barrier=None) -> int:
+    """One contender: fetch the shared key, building only on a true miss.
+
+    The builder appends one line to ``count_file`` (O_APPEND writes of this
+    size are atomic on POSIX), so the line count afterwards is the number of
+    builds that actually ran.
+    """
+    import os
+    import time
+
+    cache = ArtifactCache(cache_root)
+
+    def builder():
+        with open(count_file, "a") as handle:
+            handle.write(f"{os.getpid()}\n")
+        time.sleep(0.05)  # widen the window a racing peer could slip through
+        return 12345
+
+    if barrier is not None:
+        barrier.wait()
+    return cache.fetch("stress", builder, key="shared")
+
+
+class TestSingleFlightStress:
+    """The ``fetch`` single-flight contract under real contention.
+
+    Many contenders miss on the same key at the same instant; the advisory
+    build lock must let exactly one builder run while everyone else loads
+    the stored result.
+    """
+
+    def test_many_threads_one_build(self, tmp_path):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        count_file = tmp_path / "builds.txt"
+        count_file.touch()
+        n = 16
+        barrier = threading.Barrier(n)
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            results = list(
+                pool.map(
+                    lambda _: _stress_fetch(
+                        str(tmp_path / "cache"), str(count_file), barrier
+                    ),
+                    range(n),
+                )
+            )
+        assert results == [12345] * n
+        assert len(count_file.read_text().splitlines()) == 1
+
+    def test_many_processes_one_build(self, tmp_path):
+        import multiprocessing
+
+        count_file = tmp_path / "builds.txt"
+        count_file.touch()
+        n = 8
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=n) as pool:
+            results = pool.starmap(
+                _stress_fetch,
+                [(str(tmp_path / "cache"), str(count_file))] * n,
+            )
+        assert results == [12345] * n
+        assert len(count_file.read_text().splitlines()) == 1
+
+    def test_distinct_keys_build_independently(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache_root = str(tmp_path / "cache")
+
+        def fetch_key(index: int) -> int:
+            cache = ArtifactCache(cache_root)
+            return cache.fetch("stress", lambda: index, key=f"k{index}")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(fetch_key, range(8)))
+        assert results == list(range(8))
+        assert ArtifactCache(cache_root).inventory()["stress"][0] == 8

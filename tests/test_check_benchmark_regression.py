@@ -1,0 +1,163 @@
+"""Unit tests for ``scripts/check_benchmark_regression.py``.
+
+The script lives outside the package (it is a CI utility, not part of
+``repro``), so it is loaded here by file path via ``importlib``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_benchmark_regression.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_benchmark_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def report_payload(sat_rate: float = 100.0, decisions: float = 1000.0) -> dict:
+    """A minimal pytest-benchmark report carrying both tracked benchmarks."""
+    return {
+        "benchmarks": [
+            {
+                "name": "test_sat_guided_vs_random_coverage_per_second",
+                "extra_info": {"sat_coverage_per_second": sat_rate},
+            },
+            {
+                "name": "test_solver_decisions_per_second",
+                "extra_info": {
+                    "decisions_per_second": decisions,
+                    "propagations_per_second": decisions * 10,
+                },
+            },
+            {"name": "test_untracked_benchmark", "extra_info": {"whatever": 1.0}},
+        ]
+    }
+
+
+def write_report(tmp_path: Path, **kwargs) -> Path:
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(report_payload(**kwargs)))
+    return path
+
+
+class TestExtractMetrics:
+    def test_pulls_only_tracked_rates(self, checker):
+        metrics = checker.extract_metrics(report_payload())
+        assert set(metrics) == {
+            "test_sat_guided_vs_random_coverage_per_second",
+            "test_solver_decisions_per_second",
+        }
+        assert metrics["test_solver_decisions_per_second"] == {
+            "decisions_per_second": 1000.0,
+            "propagations_per_second": 10000.0,
+        }
+
+    def test_empty_report(self, checker):
+        assert checker.extract_metrics({}) == {}
+        assert checker.extract_metrics({"benchmarks": []}) == {}
+
+
+class TestCompare:
+    def test_no_warnings_within_threshold(self, checker):
+        base = checker.extract_metrics(report_payload())
+        current = checker.extract_metrics(report_payload(sat_rate=80.0))  # -20%
+        assert checker.compare(current, base, threshold=0.30) == []
+
+    def test_warns_beyond_threshold(self, checker):
+        base = checker.extract_metrics(report_payload())
+        current = checker.extract_metrics(report_payload(sat_rate=60.0))  # -40%
+        warnings = checker.compare(current, base, threshold=0.30)
+        assert len(warnings) == 1
+        assert "sat_coverage_per_second dropped 40%" in warnings[0]
+
+    def test_improvements_never_warn(self, checker):
+        base = checker.extract_metrics(report_payload())
+        current = checker.extract_metrics(report_payload(sat_rate=500.0, decisions=9999.0))
+        assert checker.compare(current, base, threshold=0.30) == []
+
+    def test_missing_benchmark_warns(self, checker):
+        base = checker.extract_metrics(report_payload())
+        warnings = checker.compare({}, base, threshold=0.30)
+        assert any("missing from the" in line for line in warnings)
+
+    def test_zero_baseline_metric_is_skipped(self, checker):
+        base = {"test_solver_decisions_per_second": {"decisions_per_second": 0.0}}
+        current = {"test_solver_decisions_per_second": {"decisions_per_second": 0.0}}
+        assert checker.compare(current, base, threshold=0.30) == []
+
+
+class TestMain:
+    def test_missing_baseline_skips_with_exit_0(self, checker, tmp_path, capsys):
+        report = write_report(tmp_path)
+        code = checker.main([str(report), "--baseline", str(tmp_path / "nope.json")])
+        assert code == 0
+        assert "skipping regression check" in capsys.readouterr().out
+
+    def test_clean_comparison_exit_0(self, checker, tmp_path, capsys):
+        report = write_report(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(checker.extract_metrics(report_payload())))
+        code = checker.main([str(report), "--baseline", str(baseline)])
+        assert code == 0
+        assert "no benchmark regressions" in capsys.readouterr().out
+
+    def test_regression_warns_but_still_exits_0(self, checker, tmp_path, capsys):
+        report = write_report(tmp_path, sat_rate=50.0)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(checker.extract_metrics(report_payload())))
+        code = checker.main([str(report), "--baseline", str(baseline)])
+        assert code == 0  # soft check by design
+        assert "::warning::benchmark regression" in capsys.readouterr().out
+
+    def test_update_baseline_writes_current_metrics(self, checker, tmp_path):
+        report = write_report(tmp_path, sat_rate=42.0)
+        baseline = tmp_path / "baseline.json"
+        code = checker.main(
+            [str(report), "--baseline", str(baseline), "--update-baseline"]
+        )
+        assert code == 0
+        stored = json.loads(baseline.read_text())
+        assert (
+            stored["test_sat_guided_vs_random_coverage_per_second"]
+            == {"sat_coverage_per_second": 42.0}
+        )
+
+    def test_malformed_report_exits_1_with_clean_message(self, checker, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        report.write_text("{not json")
+        code = checker.main([str(report)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+
+    def test_missing_report_exits_1(self, checker, tmp_path, capsys):
+        code = checker.main([str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_1(self, checker, tmp_path, capsys):
+        report = write_report(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("[]")  # valid JSON, wrong shape
+        code = checker.main([str(report), "--baseline", str(baseline)])
+        assert code == 1
+        assert "must contain a JSON object" in capsys.readouterr().err
+
+    def test_custom_threshold(self, checker, tmp_path, capsys):
+        report = write_report(tmp_path, sat_rate=85.0)  # -15%
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(checker.extract_metrics(report_payload())))
+        code = checker.main(
+            [str(report), "--baseline", str(baseline), "--threshold", "0.10"]
+        )
+        assert code == 0
+        assert "::warning::" in capsys.readouterr().out

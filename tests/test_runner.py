@@ -313,3 +313,32 @@ class TestCli:
     def test_bad_option_syntax(self, tmp_path):
         with pytest.raises(SystemExit):
             cli_main(["run", "transfer", "--set", "designc6288"])
+
+    def test_unknown_backend_is_a_usage_error(self, capsys):
+        # argparse choices: clean usage error, exit code 2, no traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["run", "transfer", "--backend", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'bogus'" in err
+        assert "serial" in err and "process" in err and "thread" in err
+
+    def test_thread_backend_smoke(self, tmp_path, capsys):
+        code = cli_main([
+            "run", "transfer", "--profile", "tiny",
+            "--backend", "thread", "--jobs", "2",
+            "--results-dir", str(tmp_path),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution: backend=thread, clean" in out
+        record = json.loads((tmp_path / "transfer-tiny.json").read_text())
+        assert record["backend"] == "thread"
+        assert record["resilience"]["retries"] == 0
+
+    def test_bad_policy_value_is_a_usage_error(self, capsys):
+        assert cli_main(["run", "transfer", "--max-attempts", "0"]) == 2
+        assert "max_attempts" in capsys.readouterr().err
+        assert cli_main(["run", "transfer", "--cell-timeout", "-1"]) == 2
+        assert "timeout" in capsys.readouterr().err
