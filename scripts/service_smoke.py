@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the detection service (the CI `service-smoke` job).
+
+Starts `deterrent serve` with two local queue workers, submits a tiny
+`sequential_detect` job as a raw `.bench` payload over HTTP, polls it to
+completion, scrapes `/healthz` and `/metrics`, and asserts the second
+submission of the identical job is answered from the artifact cache
+without re-running anything.
+
+Stdlib only, like the service itself.  Exit code 0 on success; any
+failed expectation raises and exits non-zero with the server log dumped
+for diagnosis.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.circuits.bench_io import dumps_bench  # noqa: E402
+from repro.circuits.library import load_benchmark  # noqa: E402
+from repro.service.server import http_json  # noqa: E402
+
+PORT = 8787
+BASE = f"http://127.0.0.1:{PORT}"
+
+PAYLOAD = {
+    "experiment": "sequential_detect",
+    "profile": "tiny",
+    "options": {"cycles": [2], "modes": ["consecutive"], "counts": [2]},
+}
+
+
+def wait_for(predicate, timeout: float, what: str, interval: float = 0.25):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise TimeoutError(f"timed out after {timeout}s waiting for {what}")
+
+
+def healthz_up() -> bool:
+    try:
+        status, body = http_json(f"{BASE}/healthz", timeout=2)
+    except OSError:
+        return False
+    return status == 200 and body.get("status") == "ok"
+
+
+def main() -> int:
+    PAYLOAD["bench"] = dumps_bench(
+        load_benchmark("s13207_like", combinational_view=False)
+    )
+    with tempfile.TemporaryDirectory(prefix="det-service-smoke-") as tmp:
+        log_path = Path(tmp) / "serve.log"
+        with log_path.open("w") as log:
+            server = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    "--queue-dir", f"{tmp}/queue",
+                    "--cache-dir", f"{tmp}/cache",
+                    "--port", str(PORT),
+                    "--workers", "2",
+                ],
+                stdout=log,
+                stderr=subprocess.STDOUT,
+            )
+        try:
+            wait_for(healthz_up, 30, "the server to come up")
+            print("healthz: ok")
+
+            status, body = http_json(f"{BASE}/jobs", payload=PAYLOAD)
+            assert status == 202, f"submit: expected 202, got {status}: {body}"
+            assert body["status"] == "queued" and body["cached"] is False, body
+            job_id = body["job_id"]
+            print(f"submitted job {job_id[:12]}… (202 queued)")
+
+            def finished():
+                status, body = http_json(f"{BASE}/jobs/{job_id}")
+                assert status == 200, f"poll: {status}: {body}"
+                return body if body["status"] in ("done", "failed") else None
+
+            done = wait_for(finished, 180, "the job to finish", interval=0.5)
+            assert done["status"] == "done", f"job failed: {done.get('error')}"
+            record = done["result"]
+            assert record["design"] == "s13207_like", record["design"]
+            assert record["cells"], "job record has no cells"
+            assert record["test_sets"], "job record has no test sets"
+            print(
+                f"job done: {len(record['cells'])} cell(s), "
+                f"{len(record['test_sets'])} test set(s), "
+                f"report {len(record['report'])} chars"
+            )
+
+            status, health = http_json(f"{BASE}/healthz")
+            assert status == 200 and health["status"] == "ok", health
+            assert health["workers_alive"] >= 1, health
+            print(f"healthz: ok ({health['workers_alive']} workers alive)")
+
+            status, metrics = http_json(f"{BASE}/metrics")
+            assert status == 200, metrics
+            assert metrics["service"]["jobs_enqueued"] == 1, metrics["service"]
+            assert metrics["queue"]["done"] >= 1, metrics["queue"]
+            assert metrics["cache"]["lifetime"].get("stores", 0) >= 1, metrics["cache"]
+            assert metrics["solver"].get("conflicts", 0) > 0, metrics["solver"]
+            print(
+                "metrics: "
+                f"service={metrics['service']} "
+                f"solver_conflicts={metrics['solver'].get('conflicts')}"
+            )
+
+            status, again = http_json(f"{BASE}/jobs", payload=PAYLOAD)
+            assert status == 200, f"resubmit: expected 200 cache hit, got {status}: {again}"
+            assert again["cached"] is True, again
+            assert again["result"]["report"] == record["report"], "cached report differs"
+            print("resubmit: answered from cache, report identical")
+
+            print("service smoke: PASS")
+            return 0
+        except BaseException:
+            print("---- server log ----", file=sys.stderr)
+            sys.stderr.write(log_path.read_text())
+            raise
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

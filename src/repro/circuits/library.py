@@ -143,6 +143,46 @@ def benchmark_suite() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
+def register_benchmark(entry: BenchmarkEntry, replace: bool = False) -> BenchmarkEntry:
+    """Add ``entry`` to the registry (process-local).
+
+    This is how externally supplied circuits — e.g. a ``.bench`` netlist
+    submitted to the detection service — join the experiment harness grid:
+    register the parsed netlist under a deterministic name, then build
+    cells with ``designs=[that name]``.  ``replace=True`` allows
+    re-registration under the same name (idempotent service workers);
+    without it a duplicate name raises.
+    """
+    if entry.name in _REGISTRY and not replace:
+        raise ValueError(f"benchmark {entry.name!r} is already registered")
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def register_netlist(
+    netlist: Netlist, name: str, *, description: str = ""
+) -> BenchmarkEntry:
+    """Register a concrete :class:`Netlist` as a loadable benchmark.
+
+    Sequentiality is detected from the netlist itself (any flip-flops), and
+    the paper-statistics columns are zeroed — submitted circuits have no
+    paper row to compare against.  Idempotent: re-registering the same name
+    simply replaces the entry.
+    """
+    return register_benchmark(
+        BenchmarkEntry(
+            name=name,
+            paper_name=name,
+            build=lambda: netlist,
+            paper_num_gates=0,
+            paper_num_rare_nets=0,
+            sequential=netlist.is_sequential,
+            description=description or "externally submitted netlist",
+        ),
+        replace=True,
+    )
+
+
 def benchmark_entry(name: str) -> BenchmarkEntry:
     """Return the registry entry for ``name``."""
     try:
@@ -172,4 +212,6 @@ __all__ = [
     "benchmark_suite",
     "benchmark_entry",
     "load_benchmark",
+    "register_benchmark",
+    "register_netlist",
 ]

@@ -14,6 +14,14 @@ Subcommands:
 - ``deterrent cache prune [--max-size MIB] [--max-age DAYS] [--kind K]
   [--dry-run]`` — size/age-based eviction (oldest entries first; every
   entry is recomputable) plus a sweep of stale temp/lock debris.
+- ``deterrent serve [--queue-dir DIR] [--port N] [--workers N]`` — run the
+  detection-as-a-service HTTP front end (POST /jobs, GET /jobs/<id>,
+  /healthz, /metrics) over a durable on-disk job queue.
+- ``deterrent submit <experiment> (--bench FILE | --design NAME)
+  [--url URL] [--profile P] [--set key=value ...] [--no-wait]`` — submit a
+  netlist to a running service and (by default) poll until the job ends.
+- ``deterrent queue-worker --queue-dir DIR`` — run one work-stealing
+  worker against a queue directory: lease, run, heartbeat, ack.
 
 Every run writes structured artifacts under ``--results-dir`` (default
 ``results/``): a JSONL stream with one record per grid cell, plus a final
@@ -25,11 +33,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Any
 
 from repro.experiments.reporting import format_table, resilience_summary, results_dir
-from repro.runner.backends import BACKEND_NAMES
+from repro.runner.backends import backend_names
 
 
 def _parse_option(text: str) -> tuple[str, Any]:
@@ -66,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="workers for grid cells (1 = serial, 0 = all CPUs)",
     )
     run_parser.add_argument(
-        "--backend", default=None, choices=BACKEND_NAMES,
+        "--backend", default=None, choices=backend_names(),
         help="execution backend (default: serial for --jobs 1, process otherwise)",
     )
     run_parser.add_argument(
@@ -140,6 +149,119 @@ def build_parser() -> argparse.ArgumentParser:
     prune_parser.add_argument(
         "--dry-run", action="store_true",
         help="report what would be removed without deleting anything",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the detection-as-a-service HTTP front end"
+    )
+    serve_parser.add_argument(
+        "--queue-dir", default="deterrent-service/queue",
+        help="durable job-queue directory shared with the workers",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None,
+        help="shared artifact cache (default: DETERRENT_CACHE_DIR, else "
+             "<queue-dir>/cache)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8787, help="bind port")
+    serve_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="queue workers to spawn locally (0: use externally started "
+             "'deterrent queue-worker' processes)",
+    )
+    serve_parser.add_argument(
+        "--lease-seconds", type=float, default=None, metavar="S",
+        help="job lease duration before a dead worker's job is reclaimed",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a netlist to a running detection service"
+    )
+    submit_parser.add_argument(
+        "experiment", help="experiment harness to run (see 'deterrent list')"
+    )
+    source = submit_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--bench", default=None, metavar="FILE",
+        help=".bench netlist file to submit",
+    )
+    source.add_argument(
+        "--design", default=None, metavar="NAME",
+        help="submit a library benchmark's netlist instead of a file",
+    )
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8787", help="service base URL"
+    )
+    submit_parser.add_argument(
+        "--profile", default="tiny", help="execution profile: tiny, quick, or full"
+    )
+    submit_parser.add_argument(
+        "--set", dest="options", action="append", default=[], type=_parse_option,
+        metavar="KEY=VALUE", help="experiment option override (repeatable)",
+    )
+    submit_parser.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without polling for the result",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="give up polling after S seconds (exit 1)",
+    )
+    submit_parser.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="S",
+        help="seconds between status polls",
+    )
+
+    worker_parser = subparsers.add_parser(
+        "queue-worker", help="run one work-stealing durable-queue worker"
+    )
+    worker_parser.add_argument(
+        "--queue-dir", required=True, help="queue directory to work from"
+    )
+    worker_parser.add_argument(
+        "--worker-id", default=None, help="stable worker name (default: worker-<pid>)"
+    )
+    worker_parser.add_argument(
+        "--lease-seconds", type=float, default=None, metavar="S",
+        help="lease duration this worker claims jobs with",
+    )
+    worker_parser.add_argument(
+        "--poll-interval", type=float, default=0.1, metavar="S",
+        help="idle sleep between claim attempts",
+    )
+    worker_parser.add_argument(
+        "--no-heartbeat", action="store_true",
+        help="do not renew leases while running (jobs longer than the lease "
+             "will be stolen; chaos-testing aid)",
+    )
+    worker_parser.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="S",
+        help="seconds between lease renewals (default: lease/3)",
+    )
+    worker_parser.add_argument(
+        "--max-task-seconds", type=float, default=None, metavar="S",
+        help="stop renewing a job's lease after S seconds so a wedged task "
+             "is eventually reclaimed by a peer",
+    )
+    worker_parser.add_argument(
+        "--max-idle-seconds", type=float, default=None, metavar="S",
+        help="exit after S seconds without claimable work",
+    )
+    worker_parser.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after completing N jobs",
+    )
+    worker_parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache to use for every job (default: each job's own)",
+    )
+    worker_parser.add_argument(
+        "--parent-pid", type=int, default=None, metavar="PID",
+        help="exit when the supervising process PID is no longer the parent",
     )
     return parser
 
@@ -285,6 +407,16 @@ def _command_cache(args: argparse.Namespace) -> int:
     total_bytes = sum(size for _, size in inventory.values())
     print(format_table(["Kind", "Entries", "Size"], rows))
     print(f"\n{total_entries} entries, {total_bytes / 1024:.1f} KiB under {root}")
+    lifetime = cache.stats_snapshot()["lifetime"]
+    if lifetime:
+        # Counters flushed into <root>/stats.json by runs, queue workers,
+        # and the HTTP service sharing this cache directory.
+        print(
+            f"lifetime stats: {lifetime.get('hits', 0)} hits, "
+            f"{lifetime.get('misses', 0)} misses, "
+            f"{lifetime.get('stores', 0)} stores, "
+            f"{lifetime.get('corrupt', 0)} corrupt"
+        )
     print(
         "entries are content-addressed and only evicted on request; run "
         "'deterrent cache prune'\n(--max-size MIB / --max-age DAYS) to "
@@ -355,6 +487,135 @@ def _command_cache_prune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service.queue import DEFAULT_LEASE_SECONDS
+    from repro.service.server import serve
+
+    return serve(
+        args.queue_dir,
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        lease_seconds=(
+            args.lease_seconds if args.lease_seconds is not None else DEFAULT_LEASE_SECONDS
+        ),
+        verbose=args.verbose,
+    )
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.service.server import http_json
+
+    if args.bench is not None:
+        try:
+            bench_text = Path(args.bench).read_text()
+        except OSError as error:
+            print(f"error: cannot read {args.bench}: {error}", file=sys.stderr)
+            return 2
+    else:
+        from repro.circuits.bench_io import dumps_bench
+        from repro.circuits.library import load_benchmark
+
+        try:
+            bench_text = dumps_bench(load_benchmark(args.design, combinational_view=False))
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+    payload = {
+        "experiment": args.experiment,
+        "profile": args.profile,
+        "options": dict(args.options),
+        "bench": bench_text,
+    }
+    base = args.url.rstrip("/")
+    try:
+        status, body = http_json(f"{base}/jobs", payload)
+    except OSError as error:
+        print(f"error: cannot reach service at {base}: {error}", file=sys.stderr)
+        return 1
+    if status >= 400:
+        print(f"error: service rejected the job: {body.get('error')}", file=sys.stderr)
+        return 2 if status == 400 else 1
+    job_id = body["job_id"]
+    print(f"job {job_id}: {body.get('status')}" + (" (cached)" if body.get("cached") else ""))
+    if body.get("status") == "done":
+        _print_job_result(body)
+        return 0
+    if args.no_wait:
+        print(f"poll with: GET {base}/jobs/{job_id}")
+        return 0
+    deadline = time.time() + args.timeout
+    while time.time() < deadline:
+        time.sleep(args.poll_interval)
+        try:
+            status, body = http_json(f"{base}/jobs/{job_id}")
+        except OSError as error:
+            print(f"error: lost the service at {base}: {error}", file=sys.stderr)
+            return 1
+        state = body.get("status")
+        if state == "done":
+            _print_job_result(body)
+            return 0
+        if state == "failed":
+            error = body.get("error") or {}
+            print(
+                f"job {job_id} failed: {error.get('type', 'Error')}: "
+                f"{error.get('message', 'unknown error')}",
+                file=sys.stderr,
+            )
+            return 1
+    print(f"error: job {job_id} still {body.get('status')!r} after {args.timeout}s", file=sys.stderr)
+    return 1
+
+
+def _print_job_result(body: dict[str, Any]) -> None:
+    record = body.get("result") or {}
+    report = record.get("report")
+    if report:
+        print(report)
+    test_sets = record.get("test_sets")
+    if test_sets:
+        for entry in test_sets:
+            count = len(entry.get("sequences", entry.get("patterns", [])))
+            print(f"test set [{entry.get('cell')}]: {count} {entry.get('kind', 'vectors')}")
+    if record.get("elapsed_seconds") is not None:
+        print(f"job ran in {record['elapsed_seconds']}s on design {record.get('design')}")
+
+
+def _command_queue_worker(args: argparse.Namespace) -> int:
+    from repro.service.queue import (
+        DEFAULT_LEASE_SECONDS,
+        DurableQueue,
+        WorkerOptions,
+        worker_loop,
+    )
+
+    queue = DurableQueue(
+        args.queue_dir,
+        lease_seconds=(
+            args.lease_seconds if args.lease_seconds is not None else DEFAULT_LEASE_SECONDS
+        ),
+    )
+    options = WorkerOptions(
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        heartbeat=not args.no_heartbeat,
+        heartbeat_interval=args.heartbeat_interval,
+        max_task_seconds=args.max_task_seconds,
+        max_idle_seconds=args.max_idle_seconds,
+        max_jobs=args.max_jobs,
+        cache_dir=args.cache_dir,
+        parent_pid=args.parent_pid,
+    )
+    try:
+        done = worker_loop(queue, options)
+    except KeyboardInterrupt:
+        return 0
+    print(f"queue worker exiting after {done} job(s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (returns a process exit code)."""
     args = build_parser().parse_args(argv)
@@ -367,6 +628,12 @@ def main(argv: list[str] | None = None) -> int:
             return _command_report(args)
         if args.command == "cache":
             return _command_cache(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "submit":
+            return _command_submit(args)
+        if args.command == "queue-worker":
+            return _command_queue_worker(args)
     except BrokenPipeError:
         # Output piped into a pager/head that exited early; not an error.
         return 0

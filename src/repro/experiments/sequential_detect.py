@@ -186,6 +186,27 @@ def run_cell(params: dict, profile: ExperimentProfile) -> SequentialDetectCellRe
     )
 
 
+def test_set(params: dict, profile: ExperimentProfile) -> SequenceSet:
+    """The SAT-guided sequence set a cell produced (detection-service hook).
+
+    Re-derives the cell's guided set through the same artifact-cache key
+    ``run_cell`` used, so right after a cell has run this is a cache load,
+    not a recomputation.  The service serialises the returned set into the
+    job record — the "submit a netlist, get its test set back" payload.
+    """
+    design = params["design"]
+    cycles = params["cycles"]
+    solver_config = (
+        SolverConfig.from_mapping(params["solver"]) if "solver" in params else None
+    )
+    netlist = load_benchmark(design, combinational_view=False)
+    rare_nets = _rare_nets(netlist, cycles, profile)
+    return _guided_sequences(
+        netlist, rare_nets, cycles, params["mode"], params["count"],
+        profile.k_patterns, profile, solver_config=solver_config,
+    )
+
+
 def collect(
     results: list[SequentialDetectCellResult | None],
 ) -> list[SequentialDetectCellResult]:

@@ -28,6 +28,8 @@ from repro.runner.backends import (
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
+    backend_names,
+    register_backend,
     resolve_backend,
 )
 from repro.runner.cache import (
@@ -65,6 +67,8 @@ __all__ = [
     "ProcessPoolBackend",
     "SerialBackend",
     "ThreadPoolBackend",
+    "backend_names",
+    "register_backend",
     "resolve_backend",
     "CorruptResult",
     "FaultPlan",

@@ -26,9 +26,14 @@ implementations ship:
 Backends are deliberately *dumb*: no retries, no timeouts, no fault
 handling.  That robustness layer lives in :mod:`repro.runner.resilience`,
 which drives any backend through this interface — including rebuilding a
-broken pool and downgrading to :class:`SerialBackend` mid-run.  Remote
-backends (the detection-as-a-service direction) only need to implement this
-same protocol.
+broken pool and downgrading to :class:`SerialBackend` mid-run.
+
+Backends resolve by *registered name* (:func:`register_backend` /
+:func:`backend_names`), so out-of-tree implementations plug into
+``--backend`` without touching this module.  The durable-queue backend
+(:mod:`repro.service.queue_backend`, the detection-as-a-service remote
+half) registers lazily under ``"queue"`` — its factory imports the service
+package only when the name is actually requested.
 """
 
 from __future__ import annotations
@@ -36,7 +41,9 @@ from __future__ import annotations
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Protocol, runtime_checkable
 
-#: Names accepted by :func:`resolve_backend` and the CLI ``--backend`` flag.
+#: The built-in in-process backends (historical constant; the full set of
+#: resolvable names — including registered extras like ``"queue"`` — comes
+#: from :func:`backend_names`).
 BACKEND_NAMES = ("serial", "process", "thread")
 
 
@@ -158,17 +165,49 @@ class ThreadPoolBackend:
         )
 
 
-_BACKENDS: dict[str, type] = {
+def _queue_backend_factory() -> "ExecutionBackend":
+    """Lazy factory for the durable-queue backend (avoids an import cycle
+    and keeps the service package out of the CLI's import hot path)."""
+    from repro.service.queue_backend import QueueBackend
+
+    return QueueBackend()
+
+
+#: The registered-name table behind :func:`resolve_backend`.  Each entry is
+#: a zero-argument factory returning a fresh backend instance.
+_BACKENDS: dict[str, Callable[[], "ExecutionBackend"]] = {
     "serial": SerialBackend,
     "process": ProcessPoolBackend,
     "thread": ThreadPoolBackend,
+    "queue": _queue_backend_factory,
 }
+
+
+def register_backend(
+    name: str, factory: Callable[[], "ExecutionBackend"], replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name`` for :func:`resolve_backend`.
+
+    The factory takes no arguments and returns a fresh backend; it may
+    import lazily.  Re-registering an existing name requires
+    ``replace=True`` so typos cannot silently shadow a built-in.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if name in _BACKENDS and not replace:
+        raise ValueError(f"backend {name!r} is already registered")
+    _BACKENDS[name] = factory
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every resolvable backend name (built-ins plus registered extras)."""
+    return tuple(sorted(_BACKENDS))
 
 
 def resolve_backend(
     backend: "ExecutionBackend | str | None", jobs: int | None = None
 ) -> ExecutionBackend:
-    """Normalise a backend request: instance, name, or None.
+    """Normalise a backend request: instance, registered name, or None.
 
     None picks the historical default from the job count: serial for
     ``jobs`` <= 1 (or unknown), the process pool otherwise.
@@ -177,12 +216,13 @@ def resolve_backend(
         backend = "serial" if jobs is None or jobs <= 1 else "process"
     if isinstance(backend, str):
         try:
-            return _BACKENDS[backend]()
+            factory = _BACKENDS[backend]
         except KeyError:
             raise ValueError(
                 f"unknown execution backend {backend!r}; "
-                f"choose from: {', '.join(BACKEND_NAMES)}"
+                f"choose from: {', '.join(backend_names())}"
             ) from None
+        return factory()
     return backend
 
 
@@ -192,5 +232,7 @@ __all__ = [
     "ProcessPoolBackend",
     "SerialBackend",
     "ThreadPoolBackend",
+    "backend_names",
+    "register_backend",
     "resolve_backend",
 ]

@@ -183,9 +183,25 @@ class ArtifactCache:
         """Path of the entry for ``kind`` + key parts (whether or not it exists)."""
         return self.root / kind / f"{config_fingerprint(**key_parts)}.pkl"
 
+    def path_for_digest(self, kind: str, digest: str) -> Path:
+        """Path of the entry whose digest is already known.
+
+        The detection service uses this: its job ids *are* cache digests
+        (:func:`config_fingerprint` over the job's key parts), so a status
+        probe can address the stored record by id alone, without
+        reconstructing the key parts.
+        """
+        return self.root / kind / f"{digest}.pkl"
+
+    def load_digest(self, kind: str, digest: str) -> Any | None:
+        """Like :meth:`load`, addressed by a pre-computed digest."""
+        return self._load_path(self.path_for_digest(kind, digest))
+
     def load(self, kind: str, **key_parts: Any) -> Any | None:
         """Return the stored artifact, or None on miss or corrupt entry."""
-        path = self.path_for(kind, **key_parts)
+        return self._load_path(self.path_for(kind, **key_parts))
+
+    def _load_path(self, path: Path) -> Any | None:
         try:
             with path.open("rb") as handle:
                 artifact = pickle.load(handle)
@@ -243,6 +259,69 @@ class ArtifactCache:
                 artifact = builder()
                 self.store(kind, artifact, **key_parts)
         return artifact
+
+    # ------------------------------------------------------------------
+    # Stats: cheap snapshots + cross-process lifetime counters
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Cheap stats view: this process's counters + the root's lifetime.
+
+        ``session`` counts hits/misses/stores/corrupt observed by *this*
+        ``ArtifactCache`` object since creation (or the last
+        :meth:`flush_stats`); ``lifetime`` adds every counter any process
+        has ever flushed into ``<root>/stats.json``.  One small JSON read —
+        safe to call from a metrics endpoint on every scrape.
+        """
+        session = self.stats.as_dict()
+        lifetime = self._read_persistent_stats()
+        for key, value in session.items():
+            lifetime[key] = lifetime.get(key, 0) + value
+        return {"session": session, "lifetime": lifetime}
+
+    def flush_stats(self) -> dict[str, int]:
+        """Fold this process's counters into ``<root>/stats.json``; return it.
+
+        Guarded by the same advisory-lock mechanism as single-flight builds,
+        so queue workers and the serving process can flush concurrently
+        without losing increments.  The in-process counters reset to zero so
+        a later flush never double-counts.
+        """
+        session = self.stats.as_dict()
+        stats_path = self.root / "stats.json"
+        if not any(session.values()):
+            return self._read_persistent_stats()
+        self.root.mkdir(parents=True, exist_ok=True)
+        with _build_lock(stats_path):
+            merged = self._read_persistent_stats()
+            for key, value in session.items():
+                merged[key] = merged.get(key, 0) + value
+            merged["flushes"] = merged.get("flushes", 0) + 1
+            descriptor, temp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(descriptor, "w") as handle:
+                    json.dump(merged, handle)
+                os.replace(temp_name, stats_path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        self.stats = CacheStats()
+        return merged
+
+    def _read_persistent_stats(self) -> dict[str, int]:
+        try:
+            loaded = json.loads((self.root / "stats.json").read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if not isinstance(loaded, dict):
+            return {}
+        return {
+            str(key): int(value)
+            for key, value in loaded.items()
+            if isinstance(value, (int, float))
+        }
 
     # ------------------------------------------------------------------
     # Inspection and eviction

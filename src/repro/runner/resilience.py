@@ -213,8 +213,18 @@ def _release_executor(
     would stall the run, and leaving it alive would leak a process past the
     interpreter's exit handlers.  ``Executor`` has no public kill switch,
     so this reaches for the pool's process table; the attribute access is
-    defensive because a custom backend may not have one.
+    defensive because a custom backend may not have one.  An executor that
+    exposes ``cancel_pending()`` (the durable-queue executor) gets it
+    called first, so work that never started is withdrawn from the shared
+    queue instead of being run by a worker into a round nobody is watching.
     """
+    if abandoned:
+        cancel_pending = getattr(executor, "cancel_pending", None)
+        if callable(cancel_pending):
+            try:
+                cancel_pending()
+            except Exception:  # noqa: BLE001 - cleanup must not mask the retry
+                pass
     if abandoned and backend.workers_are_processes:
         processes = getattr(executor, "_processes", None) or {}
         for process in list(processes.values()):

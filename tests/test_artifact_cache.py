@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -93,6 +95,85 @@ class TestArtifactCache:
         assert cache.fetch("kind", build, k=1) == {"x": 1}
         assert cache.fetch("kind", build, k=1) == {"x": 1}
         assert len(calls) == 1
+
+
+class TestDigestAddressing:
+    """Entries addressed by a pre-computed digest (the service job path)."""
+
+    def test_load_digest_reads_what_store_wrote(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("jobs", {"answer": 42}, design="c17", k=2)
+        digest = config_fingerprint(design="c17", k=2)
+        assert cache.path_for_digest("jobs", digest) == cache.path_for(
+            "jobs", design="c17", k=2
+        )
+        assert cache.load_digest("jobs", digest) == {"answer": 42}
+        assert cache.stats.hits == 1
+
+    def test_load_digest_miss_counts_like_load(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.load_digest("jobs", "f" * 64) is None
+        assert cache.stats.misses == 1
+
+
+class TestStatsPersistence:
+    """Lifetime hit/miss counters shared across processes (``/metrics``)."""
+
+    def test_flush_persists_and_resets_the_session(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.load("kind", k=1)  # miss
+        cache.store("kind", "artifact", k=1)
+        cache.load("kind", k=1)  # hit
+        merged = cache.flush_stats()
+        assert merged["hits"] == 1
+        assert merged["misses"] == 1
+        assert merged["stores"] == 1
+        assert merged["flushes"] == 1
+        # The session counters were folded in, not double-countable.
+        assert cache.stats.as_dict() == {
+            "hits": 0, "misses": 0, "stores": 0, "corrupt": 0,
+        }
+
+    def test_lifetime_stats_accumulate_across_cache_objects(self, tmp_path):
+        first = ArtifactCache(tmp_path)
+        first.store("kind", "a", k=1)
+        first.flush_stats()
+        # A different process (here: a different object) on the same root
+        # folds its own counters into the shared lifetime file.
+        second = ArtifactCache(tmp_path)
+        assert second.load("kind", k=1) == "a"
+        second.flush_stats()
+        lifetime = ArtifactCache(tmp_path).stats_snapshot()["lifetime"]
+        assert lifetime["stores"] == 1
+        assert lifetime["hits"] == 1
+        assert lifetime["flushes"] == 2
+
+    def test_snapshot_merges_session_over_lifetime_without_flushing(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("kind", "a", k=1)
+        cache.flush_stats()
+        cache.load("kind", k=1)  # unflushed session hit
+        snapshot = cache.stats_snapshot()
+        assert snapshot["session"]["hits"] == 1
+        assert snapshot["lifetime"]["hits"] == 1
+        assert snapshot["lifetime"]["stores"] == 1
+        persisted = json.loads((tmp_path / "stats.json").read_text())
+        assert persisted.get("hits", 0) == 0  # the session hit was not flushed
+
+    def test_flush_with_nothing_to_report_writes_nothing(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.flush_stats() == {}
+        assert not (tmp_path / "stats.json").exists()
+
+    def test_corrupt_stats_file_reads_as_empty(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("kind", "a", k=1)
+        cache.flush_stats()
+        (tmp_path / "stats.json").write_text("{not json")
+        assert all(value == 0 for value in cache.stats_snapshot()["lifetime"].values())
+        # And the next flush starts a fresh lifetime file.
+        cache.load("kind", k=1)
+        assert cache.flush_stats()["hits"] == 1
 
 
 class TestPruneAndInventory:

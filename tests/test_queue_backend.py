@@ -1,0 +1,224 @@
+"""Chaos suite for ``--backend queue``: the durable-queue execution backend.
+
+The queue backend must compose with :func:`repro.runner.resilience
+.run_tasks` exactly like the in-process pools — same results, same
+retry/degradation behaviour — while adding a recovery layer of its own:
+a crashed worker's job is *reclaimed* by a peer without the resilience
+layer ever noticing.  Every scenario here drives real spawned
+``deterrent queue-worker`` processes.
+
+Carries the ``faults`` marker like ``test_backends_faults.py`` so CI can
+run the chaos suites together (``pytest -m faults``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.runner.backends as backends_module
+from repro.runner.backends import backend_names, register_backend, resolve_backend
+from repro.runner.faults import FaultPlan
+from repro.runner.resilience import ResiliencePolicy, run_tasks
+from repro.service.queue import DurableQueue, WorkerOptions, worker_loop
+from repro.service.queue_backend import QueueBackend, RemoteTaskError
+
+pytestmark = pytest.mark.faults
+
+#: Fast-retry policy so chaos scenarios do not sleep through real backoff.
+FAST = ResiliencePolicy(backoff_base=0.01, backoff_cap=0.05)
+
+
+def square(x):
+    """Module-level task fn: picklable into worker processes."""
+    return x * x
+
+
+def boom(x):
+    raise ValueError(f"boom {x}")
+
+
+TASKS = [(i,) for i in range(6)]
+EXPECTED = [i * i for i in range(6)]
+
+
+def fast_backend(queue_dir=None, **overrides):
+    """A QueueBackend tuned for tests: tight polling, quick crash detection."""
+    options = {"workers": 2, "poll_interval": 0.02}
+    options.update(overrides)
+    return QueueBackend(queue_dir=queue_dir, **options)
+
+
+class TestRegistry:
+    def test_queue_backend_is_registered(self):
+        assert "queue" in backend_names()
+        backend = resolve_backend("queue")
+        assert isinstance(backend, QueueBackend)
+        assert backend.name == "queue"
+
+    def test_capability_flags(self):
+        assert QueueBackend.workers_are_processes is True
+        assert QueueBackend.supports_timeout is True
+
+    def test_register_backend_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("queue", QueueBackend)
+
+    def test_registered_extras_resolve_by_name(self):
+        name = "queue-test-alias"
+        register_backend(name, QueueBackend)
+        try:
+            assert name in backend_names()
+            assert isinstance(resolve_backend(name), QueueBackend)
+        finally:
+            backends_module._BACKENDS.pop(name, None)
+
+    def test_resolve_backend_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            resolve_backend("bogus-queue")
+
+
+class TestComposition:
+    def test_results_match_serial_reference(self):
+        reference = run_tasks(square, TASKS, backend="serial").results
+        outcome = run_tasks(
+            square, TASKS, backend=fast_backend(), max_workers=2, policy=FAST,
+        )
+        assert outcome.results == reference == EXPECTED
+        assert not outcome.had_failures
+        assert outcome.backend == "queue" == outcome.final_backend
+        assert outcome.crashes == outcome.timeouts == outcome.corrupt == 0
+
+    def test_worker_failure_surfaces_as_remote_task_error(self):
+        executor = fast_backend(workers=1).make_executor(1)
+        try:
+            future = executor.submit(boom, 3)
+            with pytest.raises(RemoteTaskError, match="ValueError: boom 3"):
+                future.result(timeout=30)
+            error = future.exception()
+            assert error.remote_type == "ValueError"
+            assert "boom 3" in error.remote_traceback
+        finally:
+            executor.shutdown()
+
+    def test_cancel_pending_withdraws_queued_work(self):
+        executor = fast_backend(workers=0).make_executor(2)
+        try:
+            futures = [executor.submit(square, i) for i in range(4)]
+            assert executor.queue.stats()["queued"] == 4
+            executor.cancel_pending()
+            assert executor.queue.stats()["queued"] == 0
+            assert not any(future.done() for future in futures)
+        finally:
+            executor.shutdown()
+
+    def test_external_workers_drain_a_shared_queue(self, tmp_path):
+        """workers=0 + a shared queue_dir is the remote-fleet client mode."""
+        queue_dir = tmp_path / "shared"
+        backend = fast_backend(queue_dir=queue_dir, workers=0)
+        worker = threading.Thread(
+            target=lambda: worker_loop(
+                DurableQueue(queue_dir), WorkerOptions(worker_id="ext", poll_interval=0.02)
+            ),
+            daemon=True,
+        )
+        worker.start()
+        try:
+            outcome = run_tasks(
+                square, TASKS, backend=backend, max_workers=2, policy=FAST
+            )
+            assert outcome.results == EXPECTED
+            assert not outcome.had_failures
+        finally:
+            DurableQueue(queue_dir).request_stop()
+            worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        liveness = DurableQueue(queue_dir).worker_liveness()
+        assert liveness["ext"]["jobs_done"] == len(TASKS)
+
+
+class TestChaos:
+    """The ISSUE's queue-worker fault matrix: crash, hang, corrupt."""
+
+    def test_crash_mid_lease_is_reclaimed_not_retried(self, tmp_path):
+        """A worker crashing mid-lease is queue-level recovery: a peer
+        reclaims the job and the resilience layer never sees a failure."""
+        queue_dir = tmp_path / "q"
+        outcome = run_tasks(
+            square, TASKS,
+            backend=fast_backend(queue_dir=queue_dir),
+            max_workers=2,
+            fault_plan=FaultPlan.crashing(1),
+            policy=FAST,
+        )
+        assert outcome.results == EXPECTED
+        # Invisible to the resilience layer: no crashes, no retry rounds.
+        assert outcome.crashes == 0
+        assert outcome.retries == 0
+        assert not outcome.degraded
+        # Visible in the queue's own telemetry: the job was redelivered.
+        stats = DurableQueue(queue_dir).stats()
+        assert stats["reclaims"] >= 1
+        assert stats["done"] == len(TASKS)
+
+    def test_hang_past_lease_is_stolen_by_a_peer(self, tmp_path):
+        """A wedged task whose worker stops renewing (max_task_seconds) loses
+        its lease and a peer finishes the job — no resilience timeout."""
+        queue_dir = tmp_path / "q"
+        outcome = run_tasks(
+            square, TASKS,
+            backend=fast_backend(
+                queue_dir=queue_dir, lease_seconds=1.0, max_task_seconds=0.4,
+            ),
+            max_workers=2,
+            fault_plan=FaultPlan.hanging(2, seconds=6.0),
+            policy=FAST,  # no per-attempt timeout: the steal must resolve it
+        )
+        assert outcome.results == EXPECTED
+        assert outcome.timeouts == 0
+        assert not outcome.degraded
+        stats = DurableQueue(queue_dir).stats()
+        assert stats["reclaims"] >= 1
+
+    def test_corrupt_before_ack_is_rejected_and_retried(self, tmp_path):
+        """A corrupt result is acked by the queue (the worker completed) but
+        rejected by the resilience validator, which retries under a fresh
+        job id — this leg of recovery belongs to the submitting side."""
+        queue_dir = tmp_path / "q"
+        outcome = run_tasks(
+            square, TASKS,
+            backend=fast_backend(queue_dir=queue_dir),
+            max_workers=2,
+            fault_plan=FaultPlan.corrupting(0),
+            policy=FAST,
+        )
+        assert outcome.results == EXPECTED
+        assert outcome.corrupt == 1
+        assert outcome.retries >= 1
+        assert not outcome.degraded
+        # Both the corrupt attempt and the retry ran to completion: the
+        # queue acked each delivered job exactly once, no reclaims needed.
+        stats = DurableQueue(queue_dir).stats()
+        assert stats["reclaims"] == 0
+        assert stats["done"] == len(TASKS) + 1
+
+
+class TestDegradation:
+    def test_respawn_exhaustion_degrades_to_serial(self):
+        """A task that kills every worker that touches it exhausts the
+        respawn budget, breaks the executor, and the run falls back to the
+        serial backend — where the queue-only fault plan no longer fires."""
+        plan = FaultPlan.crashing(0, attempts=99, only_backend="queue")
+        outcome = run_tasks(
+            square, TASKS[:3],
+            backend=fast_backend(workers=1, respawns=1),
+            max_workers=1,
+            fault_plan=plan,
+            policy=ResiliencePolicy(max_attempts=2, backoff_base=0.01),
+        )
+        assert outcome.results == EXPECTED[:3]
+        assert outcome.degraded
+        assert outcome.backend == "queue"
+        assert outcome.final_backend == "serial"
+        assert outcome.crashes >= 1
