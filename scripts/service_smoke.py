@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """End-to-end smoke test of the detection service (the CI `service-smoke` job).
 
-Starts `deterrent serve` with two local queue workers, submits a tiny
-`sequential_detect` job as a raw `.bench` payload over HTTP, polls it to
-completion, scrapes `/healthz` and `/metrics`, and asserts the second
-submission of the identical job is answered from the artifact cache
-without re-running anything.
+Starts `deterrent serve` with two local queue workers and telemetry
+enabled, submits a tiny `sequential_detect` job as a raw `.bench` payload
+over HTTP from inside a client span (so the `traceparent` header links the
+whole pipeline into one trace), polls it to completion, scrapes
+`/healthz` and `/metrics` in both JSON and Prometheus text exposition,
+validates the exported span tree with `deterrent trace --check`, and
+asserts the second submission of the identical job is answered from the
+artifact cache without re-running anything.
 
 Stdlib only, like the service itself.  Exit code 0 on success; any
 failed expectation raises and exits non-zero with the server log dumped
@@ -18,10 +21,12 @@ import subprocess
 import sys
 import tempfile
 import time
+import urllib.request
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import obs  # noqa: E402
 from repro.circuits.bench_io import dumps_bench  # noqa: E402
 from repro.circuits.library import load_benchmark  # noqa: E402
 from repro.service.server import http_json  # noqa: E402
@@ -59,6 +64,7 @@ def main() -> int:
         load_benchmark("s13207_like", combinational_view=False)
     )
     with tempfile.TemporaryDirectory(prefix="det-service-smoke-") as tmp:
+        trace_dir = f"{tmp}/trace"
         log_path = Path(tmp) / "serve.log"
         with log_path.open("w") as log:
             server = subprocess.Popen(
@@ -68,6 +74,7 @@ def main() -> int:
                     "--cache-dir", f"{tmp}/cache",
                     "--port", str(PORT),
                     "--workers", "2",
+                    "--trace", trace_dir,
                 ],
                 stdout=log,
                 stderr=subprocess.STDOUT,
@@ -76,7 +83,13 @@ def main() -> int:
             wait_for(healthz_up, 30, "the server to come up")
             print("healthz: ok")
 
-            status, body = http_json(f"{BASE}/jobs", payload=PAYLOAD)
+            # Submit from inside a client span: http_json injects the W3C
+            # traceparent header, so the server's service.submit span — and
+            # the queue worker's whole subtree — join this script's trace.
+            obs.configure(trace_dir, export_env=False)
+            with obs.trace.span("smoke.submit"):
+                status, body = http_json(f"{BASE}/jobs", payload=PAYLOAD)
+            obs.flush()
             assert status == 202, f"submit: expected 202, got {status}: {body}"
             assert body["status"] == "queued" and body["cached"] is False, body
             job_id = body["job_id"]
@@ -116,11 +129,33 @@ def main() -> int:
                 f"solver_conflicts={metrics['solver'].get('conflicts')}"
             )
 
+            request = urllib.request.Request(
+                f"{BASE}/metrics?format=prometheus", headers={"Accept": "text/plain"}
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                prom = response.read().decode("utf-8")
+            assert prom.startswith("# TYPE"), prom[:200]
+            assert "deterrent_queue_done" in prom, prom[:400]
+            assert "deterrent_solver_conflicts" in prom, prom[:400]
+            print(f"metrics: prometheus exposition ok ({len(prom.splitlines())} lines)")
+
             status, again = http_json(f"{BASE}/jobs", payload=PAYLOAD)
             assert status == 200, f"resubmit: expected 200 cache hit, got {status}: {again}"
             assert again["cached"] is True, again
             assert again["result"]["report"] == record["report"], "cached report differs"
             print("resubmit: answered from cache, report identical")
+
+            check = subprocess.run(
+                [sys.executable, "-m", "repro", "trace", trace_dir, "--check"],
+                capture_output=True,
+                text=True,
+            )
+            assert check.returncode == 0, (
+                f"trace --check failed ({check.returncode}):\n"
+                f"{check.stdout}\n{check.stderr}"
+            )
+            first_line = check.stdout.splitlines()[0] if check.stdout else ""
+            print(f"trace --check: ok ({first_line})")
 
             print("service smoke: PASS")
             return 0
@@ -129,6 +164,7 @@ def main() -> int:
             sys.stderr.write(log_path.read_text())
             raise
         finally:
+            obs.disable()
             server.terminate()
             try:
                 server.wait(timeout=10)

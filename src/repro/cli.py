@@ -22,6 +22,10 @@ Subcommands:
   netlist to a running service and (by default) poll until the job ends.
 - ``deterrent queue-worker --queue-dir DIR`` — run one work-stealing
   worker against a queue directory: lease, run, heartbeat, ack.
+- ``deterrent trace <dir>`` — render an exported trace directory (written
+  by ``run --trace`` / ``serve --trace``): the span tree with durations,
+  the merged cross-worker instrument set, and profile percentiles;
+  ``--chrome FILE`` additionally writes the Chrome ``trace_event`` view.
 
 Every run writes structured artifacts under ``--results-dir`` (default
 ``results/``): a JSONL stream with one record per grid cell, plus a final
@@ -37,7 +41,12 @@ import time
 from pathlib import Path
 from typing import Any
 
-from repro.experiments.reporting import format_table, resilience_summary, results_dir
+from repro.experiments.reporting import (
+    format_table,
+    resilience_summary,
+    results_dir,
+    telemetry_summary,
+)
 from repro.runner.backends import backend_names
 
 
@@ -99,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--set", dest="options", action="append", default=[], type=_parse_option,
         metavar="KEY=VALUE", help="experiment option override (repeatable)",
+    )
+    run_parser.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="enable telemetry: export spans and metrics to DIR (inspect "
+             "with 'deterrent trace DIR')",
     )
 
     report_parser = subparsers.add_parser("report", help="show saved run reports")
@@ -176,6 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve_parser.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="enable telemetry: trace submits (and, via the environment, "
+             "spawned workers) into DIR",
     )
 
     submit_parser = subparsers.add_parser(
@@ -263,6 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--parent-pid", type=int, default=None, metavar="PID",
         help="exit when the supervising process PID is no longer the parent",
     )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="render an exported telemetry directory"
+    )
+    trace_parser.add_argument(
+        "trace_dir", help="trace directory written by 'run --trace' or 'serve --trace'"
+    )
+    trace_parser.add_argument(
+        "--chrome", default=None, metavar="FILE",
+        help="also write the Chrome trace_event JSON view to FILE",
+    )
+    trace_parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the directory has no spans or the tree has "
+             "orphaned parent links (CI validation)",
+    )
     return parser
 
 
@@ -275,9 +310,12 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.runner.execution import run_experiment
     from repro.runner.resilience import ResiliencePolicy
 
+    if args.trace:
+        obs.configure(args.trace)
     target_dir = Path(args.results_dir) if args.results_dir else results_dir()
     try:
         # An explicit CLI policy replaces the experiment's own cell
@@ -290,16 +328,21 @@ def _command_run(args: argparse.Namespace) -> int:
             if args.max_attempts is not None:
                 policy_kwargs["max_attempts"] = args.max_attempts
             resilience = ResiliencePolicy(**policy_kwargs)
-        run = run_experiment(
-            args.experiment,
-            profile=args.profile,
-            jobs=args.jobs,
-            options=dict(args.options),
-            cache_dir=args.cache_dir,
-            results_dir=target_dir,
-            backend=args.backend,
-            resilience=resilience,
-        )
+        with obs.trace.span(
+            "cli.run", attrs={"experiment": args.experiment, "profile": args.profile}
+        ):
+            run = run_experiment(
+                args.experiment,
+                profile=args.profile,
+                jobs=args.jobs,
+                options=dict(args.options),
+                cache_dir=args.cache_dir,
+                results_dir=target_dir,
+                backend=args.backend,
+                resilience=resilience,
+                trace_dir=args.trace,
+            )
+        obs.flush()
     except (KeyError, ValueError) as error:
         # Unknown experiment/profile/option/backend or a bad policy value:
         # a usage error, not a crash.
@@ -312,6 +355,9 @@ def _command_run(args: argparse.Namespace) -> int:
         f"({len(run.outcomes)} cells, jobs={run.jobs})"
     )
     print(resilience_summary(run.resilience))
+    telemetry_line = telemetry_summary(run.telemetry)
+    if telemetry_line:
+        print(telemetry_line)
     if run.cache_stats is not None:
         print(
             f"artifact cache: {run.cache_stats['hits']} hits, "
@@ -501,6 +547,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             args.lease_seconds if args.lease_seconds is not None else DEFAULT_LEASE_SECONDS
         ),
         verbose=args.verbose,
+        trace_dir=args.trace,
     )
 
 
@@ -616,6 +663,96 @@ def _command_queue_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_duration(seconds: object) -> str:
+    if not isinstance(seconds, (int, float)):
+        return "?"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    trace_dir = Path(args.trace_dir)
+    if not trace_dir.is_dir():
+        print(f"error: {trace_dir} is not a directory", file=sys.stderr)
+        return 2
+    spans = obs_trace.load_spans(trace_dir)
+    if not spans:
+        print(f"no spans under {trace_dir}")
+        return 1 if args.check else 0
+    roots, children = obs_trace.build_tree(spans)
+    orphans = obs_trace.orphan_spans(spans)
+
+    interesting = ("cell", "task", "attempt", "backend", "label", "experiment",
+                   "profile", "job_id", "worker", "sequences", "failure")
+
+    def render(record: dict, depth: int) -> None:
+        status = record.get("status", "ok")
+        flag = "" if status == "ok" else f"  [{status}]"
+        attrs = record.get("attrs") or {}
+        shown = ", ".join(
+            f"{key}={attrs[key]}" for key in interesting if key in attrs
+        )
+        attr_text = f"  ({shown})" if shown else ""
+        print(
+            f"{'  ' * depth}{record.get('name', '?')}  "
+            f"{_format_duration(record.get('dur_s'))}{flag}{attr_text}"
+        )
+        for child in children.get(record["span_id"], []):
+            render(child, depth + 1)
+
+    traces = {record.get("trace_id") for record in spans}
+    print(
+        f"{len(spans)} spans, {len(traces)} trace(s), "
+        f"{len(roots)} root(s) under {trace_dir}"
+    )
+    for root in roots:
+        render(root, 0)
+    if orphans:
+        print(f"\nwarning: {len(orphans)} span(s) reference a parent that was "
+              "never exported (worker died before flushing?)")
+
+    snapshot = obs_metrics.merged_snapshot(trace_dir)
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    if counters or gauges:
+        print("\ninstruments (merged across workers):")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]:g}")
+        for name in sorted(gauges):
+            print(f"  {name} = {gauges[name]:g} (max)")
+    profiles = obs_metrics.percentile_summary(snapshot)
+    if profiles:
+        rows = [
+            [
+                name,
+                int(summary["count"]),
+                _format_duration(summary["p50"]),
+                _format_duration(summary["p90"]),
+                _format_duration(summary["p99"]),
+                _format_duration(summary["total"]),
+            ]
+            for name, summary in sorted(profiles.items())
+        ]
+        print("\nprofiles:")
+        print(format_table(["Path", "Samples", "p50", "p90", "p99", "Total"], rows))
+
+    if args.chrome:
+        chrome_path = Path(args.chrome)
+        chrome_path.parent.mkdir(parents=True, exist_ok=True)
+        chrome_path.write_text(json.dumps(obs_trace.chrome_trace(spans)))
+        print(f"\nchrome trace written to {chrome_path} (open in ui.perfetto.dev)")
+
+    if args.check and orphans:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (returns a process exit code)."""
     args = build_parser().parse_args(argv)
@@ -634,6 +771,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_submit(args)
         if args.command == "queue-worker":
             return _command_queue_worker(args)
+        if args.command == "trace":
+            return _command_trace(args)
     except BrokenPipeError:
         # Output piped into a pager/head that exited early; not an error.
         return 0

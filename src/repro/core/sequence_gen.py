@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.circuits.netlist import Netlist
 from repro.core.patterns import SequenceSet
 from repro.sat.justify import greedy_maximal_subset
@@ -367,8 +368,35 @@ def generate_sequences(
     stack and, for ``n_jobs != 1``, each worker's private stack); the
     emitted metadata carries the serial stack's cumulative
     :class:`~repro.sat.solver.SolverStats` under ``"solver_stats"``
-    (worker-side stats are not aggregated).
+    (worker-side stats are not aggregated).  Under active telemetry the
+    whole pipeline runs inside a ``solver.sequence_gen`` span.
     """
+    with obs.trace.span(
+        "solver.sequence_gen",
+        attrs={"cycles": cycles, "mode": mode, "rare_nets": len(rare_nets)},
+    ) as gen_span:
+        result = _generate_sequences(
+            netlist, rare_nets, cycles, mode, count, num_sequences, seed,
+            justifier, max_rare_nets, n_jobs, technique, solver_config,
+        )
+        gen_span.set_attr("sequences", int(result.sequences.shape[0]))
+        return result
+
+
+def _generate_sequences(
+    netlist: Netlist,
+    rare_nets: list[RareNet],
+    cycles: int,
+    mode: str,
+    count: int,
+    num_sequences: int,
+    seed: RngLike,
+    justifier: SequentialJustifier | None,
+    max_rare_nets: int | None,
+    n_jobs: int,
+    technique: str,
+    solver_config: SolverConfig | None,
+) -> SequenceSet:
     inputs = netlist.inputs
     compatibility = analyze_sequential_compatibility(
         netlist, rare_nets, cycles, mode, count,

@@ -106,9 +106,41 @@ def resilience_summary(counters: dict | None) -> str:
             f"degraded to {counters.get('final_backend', 'serial')}"
             + (f" ({reason})" if reason else "")
         )
+    backend_counters = counters.get("backend_counters") or {}
+    if backend_counters:
+        rendered = ", ".join(
+            f"{key}={value}" for key, value in sorted(backend_counters.items())
+        )
+        parts.append(f"queue: {rendered}")
     if len(parts) == 1:
         parts.append("clean")
     return "execution: " + ", ".join(parts)
+
+
+def telemetry_summary(telemetry: dict | None) -> str | None:
+    """One report line for a run's telemetry block, or None when absent.
+
+    ``telemetry`` is the dict :func:`repro.obs.summary` put in the run
+    record (``None`` when tracing was off).  Example output::
+
+        telemetry: 42 spans -> /tmp/trace, counters: runner_cells=4, ...
+    """
+    if not telemetry:
+        return None
+    counters = telemetry.get("counters") or {}
+    shown = ", ".join(
+        f"{key}={value}" for key, value in sorted(counters.items())[:6]
+    )
+    extra = max(0, len(counters) - 6)
+    line = (
+        f"telemetry: {telemetry.get('spans', 0)} spans -> "
+        f"{telemetry.get('trace_dir', '?')}"
+    )
+    if shown:
+        line += f", counters: {shown}"
+        if extra:
+            line += f" (+{extra} more)"
+    return line
 
 
 __all__ = [
@@ -118,4 +150,5 @@ __all__ = [
     "load_jsonl",
     "resilience_summary",
     "results_dir",
+    "telemetry_summary",
 ]

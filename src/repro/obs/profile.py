@@ -1,0 +1,103 @@
+"""Opt-in sampled profiling hooks for the hot paths.
+
+The hooks live on paths where even one extra dict lookup per iteration would
+show up in benchmarks (the CDCL propagate/decide loop, the compiled
+simulation step), so they follow a fetch-once pattern: the call site asks for
+a :class:`HotPath` **once** per outer call (``solve()`` entry, ``run_packed``
+entry) and gets ``None`` while profiling is disabled — the loop then pays a
+single ``is None`` branch, nothing else.
+
+Observations land in the shared metrics registry as
+``profile_<name>_seconds`` histograms, so cross-worker merge, the Prometheus
+view, and the ``deterrent trace`` percentile report all come for free.
+Sampling records the duration of every ``every``-th call (true sampling, no
+scaling), which is the right discipline for percentiles.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import _runtime, metrics
+
+
+class HotPath:
+    """Sampled timer for one named hot path (use via :func:`hot_path`)."""
+
+    __slots__ = ("metric", "every", "_calls")
+
+    def __init__(self, name: str, every: int) -> None:
+        self.metric = f"profile_{name.replace('.', '_')}_seconds"
+        self.every = max(1, every)
+        self._calls = 0
+
+    def sample(self) -> bool:
+        """True when this call should be timed (every ``every``-th call)."""
+        self._calls += 1
+        return self._calls % self.every == 0
+
+    def observe(self, seconds: float) -> None:
+        metrics.registry().observe(self.metric, seconds)
+
+
+def hot_path(name: str, every: int = 1) -> HotPath | None:
+    """A :class:`HotPath` for ``name``, or ``None`` while profiling is off.
+
+    Fetch once per outer call, then::
+
+        hot = profile.hot_path("sat.propagate", every=64)
+        ...
+        if hot is not None and hot.sample():
+            t0 = time.perf_counter()
+            conflict = self._propagate()
+            hot.observe(time.perf_counter() - t0)
+        else:
+            conflict = self._propagate()
+    """
+    if not _runtime.profiling_enabled():
+        return None
+    return HotPath(name, every)
+
+
+class _Timer:
+    __slots__ = ("metric", "_start")
+
+    def __init__(self, metric: str) -> None:
+        self.metric = metric
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        metrics.registry().observe(self.metric, time.perf_counter() - self._start)
+        return False
+
+
+class _NoopTimer:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP_TIMER = _NoopTimer()
+
+
+def timed(name: str):
+    """Context manager recording every call's duration (coarser paths).
+
+    Used on paths where per-call timing is cheap relative to the work —
+    cache fetches and artifact builds — as opposed to the sampled
+    :func:`hot_path` loops.
+    """
+    if not _runtime.profiling_enabled():
+        return _NOOP_TIMER
+    return _Timer(f"profile_{name.replace('.', '_')}_seconds")
+
+
+__all__ = ["HotPath", "hot_path", "timed"]

@@ -72,8 +72,42 @@ class ExecutionBackend(Protocol):
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
     ) -> Executor:
-        """A fresh executor; the caller owns its lifecycle."""
+        """A fresh executor; the caller owns its lifecycle.
+
+        The returned executor may additionally expose two *optional* hooks
+        the resilience layer probes for: ``cancel_pending()`` (withdraw
+        work that never started, called when a round is abandoned) and
+        ``backend_counters() -> dict[str, int]`` (self-reported robustness
+        counters — the queue executor reports worker ``respawns``, lease
+        ``reclaims``, and total job ``deliveries``; collected via
+        :func:`collect_executor_counters` before shutdown).
+        """
         ...
+
+
+def collect_executor_counters(executor: Executor) -> dict[str, int]:
+    """An executor's self-reported counters, or ``{}``.
+
+    Probes the optional ``backend_counters()`` hook (see
+    :meth:`ExecutionBackend.make_executor`).  Must be called *before* the
+    executor shuts down: the queue executor derives its counters from an
+    event log that lives in a directory shutdown may delete.  Never raises —
+    counters are telemetry, not control flow.
+    """
+    collect = getattr(executor, "backend_counters", None)
+    if not callable(collect):
+        return {}
+    try:
+        counters = collect()
+    except Exception:  # noqa: BLE001 - telemetry must not fail the round
+        return {}
+    if not isinstance(counters, dict):
+        return {}
+    return {
+        str(key): int(value)
+        for key, value in counters.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
 
 
 class _SerialExecutor(Executor):
@@ -233,6 +267,7 @@ __all__ = [
     "SerialBackend",
     "ThreadPoolBackend",
     "backend_names",
+    "collect_executor_counters",
     "register_backend",
     "resolve_backend",
 ]

@@ -47,6 +47,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, is_dataclass, asdict
@@ -58,6 +59,7 @@ try:
 except ImportError:  # non-POSIX platform: single-flight degrades to none
     fcntl = None
 
+from repro import obs
 from repro.circuits.bench_io import dumps_bench
 from repro.circuits.netlist import Netlist
 
@@ -127,6 +129,13 @@ class CacheStats:
             "corrupt": self.corrupt,
         }
 
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another counter set into this one (used to undo a detach)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.corrupt += other.corrupt
+
 
 @dataclass(frozen=True)
 class CacheEntry:
@@ -178,6 +187,20 @@ class ArtifactCache:
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
+        # Session counters are bumped from worker threads (the thread backend
+        # shares one cache object) while flush/snapshot read them; every
+        # access goes through this lock so a flush's detach-and-reset never
+        # races an increment.
+        self._stats_lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_stats_lock", None)  # locks don't pickle
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
 
     def path_for(self, kind: str, **key_parts: Any) -> Path:
         """Path of the entry for ``kind`` + key parts (whether or not it exists)."""
@@ -206,19 +229,26 @@ class ArtifactCache:
             with path.open("rb") as handle:
                 artifact = pickle.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.misses += 1
+            obs.metrics.counter_add("cache_misses")
             return None
         except Exception:
             # Truncated/garbled entry (e.g. a crashed writer predating atomic
             # stores, or bit rot): drop it and recompute.
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+            obs.metrics.counter_add("cache_corrupt")
+            obs.metrics.counter_add("cache_misses")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        self.stats.hits += 1
+        with self._stats_lock:
+            self.stats.hits += 1
+        obs.metrics.counter_add("cache_hits")
         return artifact
 
     def store(self, kind: str, artifact: Any, **key_parts: Any) -> Path:
@@ -236,7 +266,9 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
-        self.stats.stores += 1
+        with self._stats_lock:
+            self.stats.stores += 1
+        obs.metrics.counter_add("cache_stores")
         return path
 
     def fetch(self, kind: str, builder, **key_parts: Any) -> Any:
@@ -247,7 +279,8 @@ class ArtifactCache:
         one computes and the rest load its result instead of duplicating the
         work (the offline phase is the most expensive artifact in the store).
         """
-        artifact = self.load(kind, **key_parts)
+        with obs.profile.timed("cache.fetch"):
+            artifact = self.load(kind, **key_parts)
         if artifact is not None:
             return artifact
         path = self.path_for(kind, **key_parts)
@@ -256,7 +289,8 @@ class ArtifactCache:
             # Double-checked: a peer holding the lock may have stored it.
             artifact = self.load(kind, **key_parts)
             if artifact is None:
-                artifact = builder()
+                with obs.profile.timed("cache.build"):
+                    artifact = builder()
                 self.store(kind, artifact, **key_parts)
         return artifact
 
@@ -271,9 +305,17 @@ class ArtifactCache:
         :meth:`flush_stats`); ``lifetime`` adds every counter any process
         has ever flushed into ``<root>/stats.json``.  One small JSON read —
         safe to call from a metrics endpoint on every scrape.
+
+        The session read and the persistent read happen under the same
+        advisory lock :meth:`flush_stats` holds, so a concurrent flusher can
+        never be observed half-way (session already reset, ``stats.json``
+        not yet updated — which used to under-count; or the reverse, which
+        double-counted).
         """
-        session = self.stats.as_dict()
-        lifetime = self._read_persistent_stats()
+        with _build_lock(self.root / "stats.json"):
+            with self._stats_lock:
+                session = self.stats.as_dict()
+            lifetime = self._read_persistent_stats()
         for key, value in session.items():
             lifetime[key] = lifetime.get(key, 0) + value
         return {"session": session, "lifetime": lifetime}
@@ -283,15 +325,21 @@ class ArtifactCache:
 
         Guarded by the same advisory-lock mechanism as single-flight builds,
         so queue workers and the serving process can flush concurrently
-        without losing increments.  The in-process counters reset to zero so
-        a later flush never double-counts.
+        without losing increments.  The in-process counters detach (and
+        reset) atomically *inside* the lock, so a concurrent
+        :meth:`stats_snapshot` or increment can neither double-count a
+        flushed session nor lose counts bumped mid-flush; if the write
+        fails, the detached counters fold back so nothing is dropped.
         """
-        session = self.stats.as_dict()
+        with self._stats_lock:
+            if not any(self.stats.as_dict().values()):
+                return self._read_persistent_stats()
         stats_path = self.root / "stats.json"
-        if not any(session.values()):
-            return self._read_persistent_stats()
         self.root.mkdir(parents=True, exist_ok=True)
         with _build_lock(stats_path):
+            with self._stats_lock:
+                session_stats, self.stats = self.stats, CacheStats()
+            session = session_stats.as_dict()
             merged = self._read_persistent_stats()
             for key, value in session.items():
                 merged[key] = merged.get(key, 0) + value
@@ -306,8 +354,9 @@ class ArtifactCache:
                     os.unlink(temp_name)
                 except OSError:
                     pass
+                with self._stats_lock:
+                    self.stats.merge(session_stats)
                 raise
-        self.stats = CacheStats()
         return merged
 
     def _read_persistent_stats(self) -> dict[str, int]:
@@ -484,12 +533,22 @@ class ArtifactCache:
 
 @contextmanager
 def _build_lock(artifact_path: Path):
-    """Advisory cross-process lock guarding one artifact's build."""
+    """Advisory cross-process lock guarding one artifact's build.
+
+    Best-effort: when the lock file cannot be opened (missing parent
+    directory — e.g. a stats snapshot of a cache root that was never
+    written to), the context degrades to unlocked rather than raising.
+    """
     if fcntl is None:
         yield
         return
     lock_path = artifact_path.with_suffix(".lock")
-    with lock_path.open("w") as handle:
+    try:
+        handle = lock_path.open("w")
+    except OSError:
+        yield
+        return
+    with handle:
         fcntl.flock(handle, fcntl.LOCK_EX)
         try:
             yield

@@ -29,6 +29,7 @@ from dataclasses import asdict, dataclass, is_dataclass
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.runner.backends import ExecutionBackend, resolve_backend
 from repro.runner.cache import get_default_cache, set_default_cache
 from repro.runner.faults import FaultPlan
@@ -63,6 +64,7 @@ class ExperimentRun:
     results_path: Path | None = None
     backend: str = "serial"
     resilience: dict[str, Any] | None = None
+    telemetry: dict[str, Any] | None = None
 
     def record(self) -> dict[str, Any]:
         """JSON-ready summary of the whole run (cells + rendered report)."""
@@ -75,6 +77,7 @@ class ExperimentRun:
             "elapsed_seconds": round(self.elapsed, 3),
             "cache_stats": self.cache_stats,
             "resilience": self.resilience,
+            "telemetry": self.telemetry,
             "cells": [
                 {
                     "cell": outcome.name,
@@ -135,12 +138,23 @@ def _execute_cell(
     cache = get_default_cache()
     before = cache.stats.as_dict() if cache is not None else None
     started = time.perf_counter()
-    result = module.run_cell(cell.params, profile)
+    with obs.trace.span("cell", attrs={"cell": cell.name}):
+        result = module.run_cell(cell.params, profile)
     elapsed = time.perf_counter() - started
     delta = None
     if cache is not None and before is not None:
         after = cache.stats.as_dict()
         delta = {key: after[key] - before[key] for key in after}
+    if obs.enabled():
+        # Absorb the cell's solver work into the registry exactly once, at
+        # the same granularity the run record reports it (per-cell
+        # ``solver_stats`` dicts), so the merged instrument view reconciles
+        # with the record.  A corrupt-result retry re-runs the cell and
+        # therefore re-absorbs — the registry counts work *done*.
+        obs.metrics.counter_add("runner_cells", 1)
+        obs.metrics.observe("cell_seconds", elapsed)
+        for stats in obs.metrics.iter_solver_stats(_jsonable(result)):
+            obs.metrics.absorb_solver_stats(stats)
     return result, elapsed, delta
 
 
@@ -165,6 +179,11 @@ class ExperimentRunner:
             at run time.  None uses :class:`ResiliencePolicy` defaults.
         fault_plan: scripted faults for chaos testing (see
             :mod:`repro.runner.faults`); None in production.
+        trace_dir: when set, enables the telemetry layer
+            (:mod:`repro.obs`) for this process and every worker, exporting
+            spans and merged metrics under the directory; the run record
+            gains a ``telemetry`` block.  None keeps the ambient state
+            (e.g. from ``DETERRENT_TRACE_DIR``).
     """
 
     def __init__(
@@ -175,6 +194,7 @@ class ExperimentRunner:
         backend: ExecutionBackend | str | None = None,
         resilience: ResiliencePolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        trace_dir: str | Path | None = None,
     ) -> None:
         self.jobs = 1 if jobs == 1 else resolve_jobs(jobs)
         self.backend = resolve_backend(backend, jobs=self.jobs)
@@ -184,6 +204,8 @@ class ExperimentRunner:
         self.results_dir = Path(results_dir) if results_dir is not None else None
         if self.cache_dir is not None:
             set_default_cache(self.cache_dir)
+        if trace_dir is not None:
+            obs.configure(trace_dir)
 
     # ------------------------------------------------------------------
     def run(
@@ -232,22 +254,29 @@ class ExperimentRunner:
             outcomes.append(self._record_cell(spec, profile, cell, result, elapsed, stream_path))
 
         policy = policy_for_spec(self.resilience, spec.cell_timeout, spec.cell_max_attempts)
-        execution = run_tasks(
-            _execute_cell,
-            [(spec.module, cell, profile) for cell in cells],
-            backend=self.backend,
-            policy=policy,
-            initializer=_init_cell_worker,
-            initargs=(list(sys.path), self.cache_dir),
-            max_workers=min(self.jobs, len(cells)),
-            fault_plan=self.fault_plan,
-            label="cell",
-        )
-        for cell, payload in zip(cells, execution.results):
-            _absorb(cell, payload)
+        with obs.trace.span(
+            f"run.{spec.name}",
+            attrs={
+                "profile": profile.name, "backend": self.backend.name,
+                "jobs": self.jobs, "cells": len(cells),
+            },
+        ):
+            execution = run_tasks(
+                _execute_cell,
+                [(spec.module, cell, profile) for cell in cells],
+                backend=self.backend,
+                policy=policy,
+                initializer=_init_cell_worker,
+                initargs=(list(sys.path), self.cache_dir),
+                max_workers=min(self.jobs, len(cells)),
+                fault_plan=self.fault_plan,
+                label="cell",
+            )
+            for cell, payload in zip(cells, execution.results):
+                _absorb(cell, payload)
 
-        collected = module.collect([outcome.result for outcome in outcomes])
-        report_text = module.report(collected)
+            collected = module.collect([outcome.result for outcome in outcomes])
+            report_text = module.report(collected)
         elapsed = time.perf_counter() - started
 
         run = ExperimentRun(
@@ -262,6 +291,7 @@ class ExperimentRunner:
             cache_stats=cache_stats,
             backend=self.backend.name,
             resilience=execution.counters(),
+            telemetry=obs.summary(),
         )
         if self.results_dir is not None:
             from repro.experiments.reporting import save_json
@@ -315,6 +345,7 @@ def run_experiment(
     backend: ExecutionBackend | str | None = None,
     resilience: ResiliencePolicy | None = None,
     fault_plan: FaultPlan | None = None,
+    trace_dir: str | Path | None = None,
 ) -> ExperimentRun:
     """One-shot convenience wrapper around :class:`ExperimentRunner`."""
     runner = ExperimentRunner(
@@ -324,6 +355,7 @@ def run_experiment(
         backend=backend,
         resilience=resilience,
         fault_plan=fault_plan,
+        trace_dir=trace_dir,
     )
     return runner.run(experiment, profile=profile, options=options)
 

@@ -241,13 +241,16 @@ def _run_sharded(
     backend: ExecutionBackend | str | None,
     resilience: ResiliencePolicy | None,
     fault_plan: FaultPlan | None,
+    label: str = "shard",
 ) -> list:
     """Drive one sharded stage through the backend + resilience seam.
 
     Results come back in shard order.  ``backend=None`` keeps the
     historical behaviour (a process pool for ``n_jobs > 1``); the per-shard
     retry/backoff jitter is seeded from each shard's own deterministic
-    seed, honouring the shard→seed contract.
+    seed, honouring the shard→seed contract.  ``label`` names the stage in
+    failure messages and in the telemetry span tree
+    (``tasks.<label>`` / ``<label>[i]``).
     """
     return run_tasks(
         shard_fn,
@@ -259,7 +262,7 @@ def _run_sharded(
         max_workers=min(n_jobs, len(shards)),
         seeds=[shard.seed for shard in shards],
         fault_plan=fault_plan,
-        label="shard",
+        label=label,
     ).results
 
 
@@ -293,7 +296,7 @@ def parallel_compatibility_matrix(
             list(sys.path), bench_text, netlist.name, list(requirements),
             solver_config,
         ),
-        n_jobs, backend, resilience, fault_plan,
+        n_jobs, backend, resilience, fault_plan, label="compat-shard",
     )
     for shard_result in shard_results:
         for i, j, compatible in shard_result:
@@ -357,7 +360,7 @@ def parallel_activatability(
             list(sys.path), bench_text, netlist.name, list(requirements),
             solver_config,
         ),
-        n_jobs, backend, resilience, fault_plan,
+        n_jobs, backend, resilience, fault_plan, label="activatability-shard",
     )
     for shard_result in shard_results:
         for item, verdict in shard_result:
@@ -462,7 +465,7 @@ def parallel_pattern_witnesses(
             list(ordered_sets), dict(preferred_values or {}),
             solver_config,
         ),
-        n_jobs, backend, resilience, fault_plan,
+        n_jobs, backend, resilience, fault_plan, label="witness-shard",
     )
     for shard_result in shard_results:
         for item, witness, realized in shard_result:
@@ -557,7 +560,7 @@ def parallel_sequence_witnesses(
             dict(initial_state) if initial_state else None,
             solver_config,
         ),
-        n_jobs, backend, resilience, fault_plan,
+        n_jobs, backend, resilience, fault_plan, label="sequence-shard",
     )
     for shard_result in shard_results:
         for item, sequence, fire_cycle, realized in shard_result:

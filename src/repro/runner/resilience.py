@@ -47,8 +47,14 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro import obs
 from repro.runner import faults
-from repro.runner.backends import ExecutionBackend, SerialBackend, resolve_backend
+from repro.runner.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    collect_executor_counters,
+    resolve_backend,
+)
 
 #: Multiplier decorrelating per-task jitter streams (Knuth's 32-bit prime).
 _JITTER_STRIDE = 2654435761
@@ -125,6 +131,9 @@ class ResilientOutcome:
     degraded_reason: str | None = None
     attempts: list[int] = field(default_factory=list)
     failures: dict[int, list[str]] = field(default_factory=dict)
+    #: Counters reported by the executor itself (the queue backend reports
+    #: worker respawns, lease reclaims, and total job deliveries here).
+    backend_counters: dict[str, int] = field(default_factory=dict)
 
     def counters(self) -> dict[str, Any]:
         """JSON-ready robustness counters for run records and reports."""
@@ -139,6 +148,7 @@ class ResilientOutcome:
             "corrupt": self.corrupt,
             "degraded": self.degraded,
             "degraded_reason": self.degraded_reason,
+            "backend_counters": dict(self.backend_counters),
         }
 
     @property
@@ -167,13 +177,34 @@ def backoff_delay(policy: ResiliencePolicy, seed: int, attempt: int) -> float:
 # Worker-side call wrappers (module level: picklable by name)
 # ----------------------------------------------------------------------
 def call_with_faults(
-    fn: Callable[..., Any], task: tuple, task_index: int, attempt: int
+    fn: Callable[..., Any], task: tuple, task_index: int, attempt: int,
+    trace_ctx: dict | None = None,
 ) -> Any:
-    """Run one attempt of ``fn(*task)`` under the armed fault plan (if any)."""
+    """Run one attempt of ``fn(*task)`` under the armed fault plan (if any).
+
+    ``trace_ctx`` is the submitting side's per-task span context
+    (:meth:`repro.obs.TraceContext.as_dict`); when telemetry is enabled the
+    attempt runs inside a ``worker`` span parented on it, and the worker's
+    spans/metrics are flushed after each attempt so even a later crash
+    loses at most the attempt in flight.
+    """
     injected = faults.maybe_inject(task_index, attempt)
     if injected is not None:
         return injected
-    return fn(*task)
+    if trace_ctx is None or not obs.enabled():
+        return fn(*task)
+    parent = obs.TraceContext.from_dict(trace_ctx)
+    try:
+        with obs.trace.span(
+            "worker", attrs={"task": task_index, "attempt": attempt}, parent=parent
+        ):
+            return fn(*task)
+    finally:
+        # Flush *after* the span context closed, so the attempt's own
+        # ``worker`` record is part of this attempt's export — a pool
+        # worker that never runs another task would otherwise strand it
+        # in the buffer and orphan the attempt's child spans.
+        obs.flush()
 
 
 def _init_with_faults(
@@ -189,19 +220,50 @@ def _init_with_faults(
     faults.install_fault_plan(plan, backend_name, workers_are_processes)
 
 
+def _init_with_obs(
+    inner: Callable[..., None] | None,
+    inner_args: tuple,
+    trace_dir: str | None,
+    parent_ctx: dict | None,
+    label: str | None,
+) -> None:
+    """Chained worker initializer: telemetry first, then the caller's own."""
+    obs.install_worker(trace_dir, parent_ctx, label=label)
+    if inner is not None:
+        inner(*inner_args)
+
+
 def _round_initializer(
     initializer: Callable[..., None] | None,
     initargs: tuple,
     fault_plan: faults.FaultPlan | None,
     backend: ExecutionBackend,
+    label: str,
 ) -> tuple[Callable[..., None] | None, tuple]:
-    """The (initializer, initargs) for one round, fault plan included."""
-    if fault_plan is None:
-        return initializer, tuple(initargs)
-    return _init_with_faults, (
-        initializer, tuple(initargs), fault_plan,
-        backend.name, backend.workers_are_processes,
-    )
+    """The (initializer, initargs) for one round: telemetry, then faults."""
+    chained, chained_args = initializer, tuple(initargs)
+    if obs.enabled():
+        trace_dir, parent_ctx = obs.worker_install_args()
+        chained, chained_args = _init_with_obs, (
+            chained, chained_args, trace_dir, parent_ctx, label,
+        )
+    if fault_plan is not None:
+        chained, chained_args = _init_with_faults, (
+            chained, chained_args, fault_plan,
+            backend.name, backend.workers_are_processes,
+        )
+    return chained, chained_args
+
+
+def _collect_backend_counters(executor: Executor, outcome: ResilientOutcome) -> None:
+    """Fold an executor's self-reported counters into the outcome.
+
+    Must run *before* :func:`_release_executor`: the queue executor may
+    delete its owned queue directory on shutdown, taking the event log the
+    counters are derived from with it.
+    """
+    for key, value in collect_executor_counters(executor).items():
+        outcome.backend_counters[key] = outcome.backend_counters.get(key, 0) + value
 
 
 def _release_executor(
@@ -278,125 +340,165 @@ def run_tasks(
     pending = list(range(n))
     consecutive_bad_rounds = 0
     try:
-        while pending:
-            outcome.rounds += 1
-            if outcome.rounds > 1:
-                outcome.retries += len(pending)
-                delay = max(
-                    backoff_delay(policy, seeds[index], outcome.attempts[index] + 1)
-                    for index in pending
-                )
-                if delay > 0:
-                    time.sleep(delay)
-
-            round_init, round_initargs = _round_initializer(
-                initializer, initargs, fault_plan, active
-            )
-            workers = max(1, min(max_workers or len(pending), len(pending)))
-            executor = active.make_executor(workers, round_init, round_initargs)
-            still_pending: list[int] = []
-            round_bad = False
-            abandoned = False
-            try:
-                futures: list[tuple[int, Future | None]] = []
-                for index in pending:
-                    outcome.attempts[index] += 1
-                    try:
-                        future = executor.submit(
-                            call_with_faults, fn, tuple(tasks[index]),
-                            index, outcome.attempts[index],
-                        )
-                    except BrokenExecutor:
-                        # The pool died while we were still feeding it.
-                        future = None
-                    futures.append((index, future))
-
-                wait_timeout = policy.timeout if active.supports_timeout else None
-                for index, future in futures:
-                    failure: str | None = None
-                    value: Any = None
-                    if future is None:
-                        failure = "crash"
-                    else:
-                        try:
-                            value = future.result(timeout=wait_timeout)
-                        except FuturesTimeoutError:
-                            failure = "timeout"
-                            future.cancel()
-                            abandoned = True
-                        except faults.SimulatedCrash:
-                            failure = "crash"
-                        except BrokenExecutor:
-                            failure = "crash"
-                        except Exception as error:  # noqa: BLE001 - task attempt failed
-                            failure = f"error: {error!r}"
-                    if failure is None and isinstance(value, faults.CorruptResult):
-                        failure = "corrupt"
-                    if failure is None and policy.validate is not None:
-                        try:
-                            valid = policy.validate(index, value)
-                        except Exception as error:  # noqa: BLE001
-                            valid = False
-                            failure = f"validator error: {error!r}"
-                        if not valid and failure is None:
-                            failure = "corrupt"
-                    if failure is None:
-                        outcome.results[index] = value
-                        continue
-                    kind = failure.split(":", 1)[0]
-                    if kind == "timeout":
-                        outcome.timeouts += 1
-                        round_bad = True
-                    elif kind == "crash":
-                        outcome.crashes += 1
-                        round_bad = True
-                    elif kind == "corrupt":
-                        outcome.corrupt += 1
-                    else:
-                        outcome.errors += 1
-                    outcome.failures.setdefault(index, []).append(
-                        f"attempt {outcome.attempts[index]} on "
-                        f"{active.name}: {failure}"
+        with obs.trace.span(
+            f"tasks.{label}", attrs={"backend": active.name, "tasks": n}
+        ) as run_span:
+            while pending:
+                outcome.rounds += 1
+                if outcome.rounds > 1:
+                    outcome.retries += len(pending)
+                    delay = max(
+                        backoff_delay(policy, seeds[index], outcome.attempts[index] + 1)
+                        for index in pending
                     )
-                    still_pending.append(index)
-            finally:
-                _release_executor(executor, active, abandoned)
+                    if delay > 0:
+                        time.sleep(delay)
 
-            consecutive_bad_rounds = consecutive_bad_rounds + 1 if round_bad else 0
-            exhausted = [
-                index for index in still_pending
-                if outcome.attempts[index] >= budget[index]
-            ]
-            if still_pending and not outcome.degraded and active.name != "serial" and (
-                exhausted or consecutive_bad_rounds >= policy.max_backend_failures
-            ):
-                # Stop trusting the pooled backend: finish the run inline.
-                outcome.degraded = True
-                outcome.degraded_reason = (
-                    f"{len(exhausted)} {label}(s) exhausted "
-                    f"{policy.max_attempts} attempts on the "
-                    f"{active.name} backend"
-                    if exhausted
-                    else f"{consecutive_bad_rounds} consecutive failing rounds "
-                    f"on the {active.name} backend"
+                round_init, round_initargs = _round_initializer(
+                    initializer, initargs, fault_plan, active, label
                 )
-                active = SerialBackend()
-                outcome.final_backend = active.name
-                for index in still_pending:
-                    budget[index] = outcome.attempts[index] + policy.max_attempts
-            elif exhausted:
-                raise ResilienceError(
-                    f"{len(exhausted)} {label}(s) failed permanently after "
-                    f"{[outcome.attempts[i] for i in exhausted]} attempts: "
-                    f"{ {i: outcome.failures[i] for i in exhausted} }",
-                    failures=dict(outcome.failures),
-                )
-            pending = still_pending
+                workers = max(1, min(max_workers or len(pending), len(pending)))
+                executor = active.make_executor(workers, round_init, round_initargs)
+                still_pending: list[int] = []
+                round_bad = False
+                abandoned = False
+                try:
+                    futures: list[tuple[int, Future | None, Any]] = []
+                    for index in pending:
+                        outcome.attempts[index] += 1
+                        # Submit-to-resolve span: its duration includes queue
+                        # wait, and its context is what the worker's span
+                        # parents on.
+                        task_span = obs.trace.start_span(
+                            f"{label}[{index}]",
+                            attrs={
+                                "attempt": outcome.attempts[index],
+                                "backend": active.name,
+                            },
+                        )
+                        task_ctx = task_span.context()
+                        try:
+                            future = executor.submit(
+                                call_with_faults, fn, tuple(tasks[index]),
+                                index, outcome.attempts[index],
+                                task_ctx.as_dict() if task_ctx is not None else None,
+                            )
+                        except BrokenExecutor:
+                            # The pool died while we were still feeding it.
+                            future = None
+                        futures.append((index, future, task_span))
+
+                    wait_timeout = policy.timeout if active.supports_timeout else None
+                    for index, future, task_span in futures:
+                        failure: str | None = None
+                        value: Any = None
+                        if future is None:
+                            failure = "crash"
+                        else:
+                            try:
+                                value = future.result(timeout=wait_timeout)
+                            except FuturesTimeoutError:
+                                failure = "timeout"
+                                future.cancel()
+                                abandoned = True
+                            except faults.SimulatedCrash:
+                                failure = "crash"
+                            except BrokenExecutor:
+                                failure = "crash"
+                            except Exception as error:  # noqa: BLE001 - task attempt failed
+                                failure = f"error: {error!r}"
+                        if failure is None and isinstance(value, faults.CorruptResult):
+                            failure = "corrupt"
+                        if failure is None and policy.validate is not None:
+                            try:
+                                valid = policy.validate(index, value)
+                            except Exception as error:  # noqa: BLE001
+                                valid = False
+                                failure = f"validator error: {error!r}"
+                            if not valid and failure is None:
+                                failure = "corrupt"
+                        if failure is None:
+                            outcome.results[index] = value
+                            task_span.end()
+                            continue
+                        kind = failure.split(":", 1)[0]
+                        if kind == "timeout":
+                            outcome.timeouts += 1
+                            round_bad = True
+                        elif kind == "crash":
+                            outcome.crashes += 1
+                            round_bad = True
+                        elif kind == "corrupt":
+                            outcome.corrupt += 1
+                        else:
+                            outcome.errors += 1
+                        outcome.failures.setdefault(index, []).append(
+                            f"attempt {outcome.attempts[index]} on "
+                            f"{active.name}: {failure}"
+                        )
+                        task_span.set_attr("failure", failure)
+                        task_span.end(status=kind)
+                        still_pending.append(index)
+                finally:
+                    _collect_backend_counters(executor, outcome)
+                    _release_executor(executor, active, abandoned)
+
+                consecutive_bad_rounds = consecutive_bad_rounds + 1 if round_bad else 0
+                exhausted = [
+                    index for index in still_pending
+                    if outcome.attempts[index] >= budget[index]
+                ]
+                if still_pending and not outcome.degraded and active.name != "serial" and (
+                    exhausted or consecutive_bad_rounds >= policy.max_backend_failures
+                ):
+                    # Stop trusting the pooled backend: finish the run inline.
+                    outcome.degraded = True
+                    outcome.degraded_reason = (
+                        f"{len(exhausted)} {label}(s) exhausted "
+                        f"{policy.max_attempts} attempts on the "
+                        f"{active.name} backend"
+                        if exhausted
+                        else f"{consecutive_bad_rounds} consecutive failing rounds "
+                        f"on the {active.name} backend"
+                    )
+                    active = SerialBackend()
+                    outcome.final_backend = active.name
+                    for index in still_pending:
+                        budget[index] = outcome.attempts[index] + policy.max_attempts
+                elif exhausted:
+                    raise ResilienceError(
+                        f"{len(exhausted)} {label}(s) failed permanently after "
+                        f"{[outcome.attempts[i] for i in exhausted]} attempts: "
+                        f"{ {i: outcome.failures[i] for i in exhausted} }",
+                        failures=dict(outcome.failures),
+                    )
+                pending = still_pending
+            run_span.set_attr("final_backend", active.name)
+            run_span.set_attr("rounds", outcome.rounds)
     finally:
         if fault_plan is not None and not active.workers_are_processes:
             # Serial/thread rounds armed the plan in *this* process.
             faults.clear_fault_plan()
+    _absorb_outcome_metrics(outcome)
     return outcome
+
+
+def _absorb_outcome_metrics(outcome: ResilientOutcome) -> None:
+    """Fold one run's robustness counters into the metrics registry."""
+    if not obs.enabled():
+        return
+    counter_add = obs.metrics.counter_add
+    counter_add("resilience_runs", 1)
+    counter_add("resilience_rounds", outcome.rounds)
+    for name in ("retries", "timeouts", "crashes", "errors", "corrupt"):
+        value = getattr(outcome, name)
+        if value:
+            counter_add(f"resilience_{name}", value)
+    if outcome.degraded:
+        counter_add("resilience_degraded", 1)
+    for key, value in outcome.backend_counters.items():
+        if value:
+            counter_add(f"queue_{key}", value)
 
 
 def policy_for_spec(

@@ -38,7 +38,9 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, fields, replace
+from time import perf_counter
 
+from repro.obs.profile import hot_path
 from repro.sat.cnf import CNF, Literal
 from repro.sat.heap import ActivityHeap
 
@@ -394,11 +396,20 @@ class CdclSolver:
 
         config = self.config
         stats = self._stats
+        # Fetch-once profiling probes: None while telemetry is off, so the
+        # loop below pays a single `is None` branch per iteration.
+        propagate_probe = hot_path("sat.propagate", every=64)
+        decide_probe = hot_path("sat.decide", every=16)
         self._restarts_scheduled = 0  # each query restarts the schedule
         restart_limit = self._next_restart_limit()
         conflicts_since_restart = 0
         while True:
-            conflict = self._propagate()
+            if propagate_probe is not None and propagate_probe.sample():
+                probe_start = perf_counter()
+                conflict = self._propagate()
+                propagate_probe.observe(perf_counter() - probe_start)
+            else:
+                conflict = self._propagate()
             if conflict is not None:
                 stats.conflicts += 1
                 conflicts_since_restart += 1
@@ -428,7 +439,12 @@ class CdclSolver:
             if status == "enqueued":
                 continue
 
-            variable = self._pick_branch_variable()
+            if decide_probe is not None and decide_probe.sample():
+                probe_start = perf_counter()
+                variable = self._pick_branch_variable()
+                decide_probe.observe(perf_counter() - probe_start)
+            else:
+                variable = self._pick_branch_variable()
             if variable is None:
                 if len(self._trail) > stats.max_trail:
                     stats.max_trail = len(self._trail)

@@ -22,7 +22,18 @@ Layout under the queue root::
     results/<job_id>.result  pickled QueueResult (atomic write)
     workers/<worker>.json    per-worker liveness heartbeat
     events.log               append-only JSON lines (reclaims, corrupt tasks)
+    events.log.1             most recent rotated-out event segment
+    events_totals.json       counters folded out of rotated segments
+    events.lock              flock guarding event append/rotate/count
     stop                     cooperative shutdown marker
+
+The event log is size-bounded: when ``events.log`` grows past
+``events_max_bytes`` its per-event counts are folded into
+``events_totals.json`` and the file is rotated to ``events.log.1`` (one
+segment of raw history kept for inspection).  ``stats()`` therefore reports
+lifetime counters as *totals + current segment*, and every reader tolerates
+a rotation happening mid-read — event data is telemetry, never control
+flow.
 
 Job ids are **deterministic content addresses**: the default id of a task
 spec is :func:`repro.runner.cache.config_fingerprint` over the spec's
@@ -52,10 +63,12 @@ import tempfile
 import threading
 import time
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
+from repro import obs
 from repro.runner.cache import config_fingerprint
 
 #: Default lease duration: a worker that neither heartbeats nor acks within
@@ -64,6 +77,9 @@ DEFAULT_LEASE_SECONDS = 30.0
 
 #: A worker whose liveness heartbeat is older than this is reported dead.
 WORKER_LIVENESS_SECONDS = 10.0
+
+#: Rotate ``events.log`` once it grows past this many bytes.
+DEFAULT_EVENTS_MAX_BYTES = 1_000_000
 
 
 class LeaseLost(RuntimeError):
@@ -160,17 +176,25 @@ class DurableQueue:
     """Crash-safe work queue over one directory (see the module docstring)."""
 
     def __init__(
-        self, root: str | Path, lease_seconds: float = DEFAULT_LEASE_SECONDS
+        self,
+        root: str | Path,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        events_max_bytes: int = DEFAULT_EVENTS_MAX_BYTES,
     ) -> None:
         if lease_seconds <= 0:
             raise ValueError(f"lease_seconds must be > 0, got {lease_seconds}")
+        if events_max_bytes <= 0:
+            raise ValueError(f"events_max_bytes must be > 0, got {events_max_bytes}")
         self.root = Path(root)
         self.lease_seconds = float(lease_seconds)
+        self.events_max_bytes = int(events_max_bytes)
         self.tasks_dir = self.root / "tasks"
         self.leases_dir = self.root / "leases"
         self.results_dir = self.root / "results"
         self.workers_dir = self.root / "workers"
         self.events_path = self.root / "events.log"
+        self.events_totals_path = self.root / "events_totals.json"
+        self.events_lock_path = self.root / "events.lock"
         self.stop_path = self.root / "stop"
         for directory in (
             self.tasks_dir, self.leases_dir, self.results_dir, self.workers_dir
@@ -187,6 +211,7 @@ class DurableQueue:
         sys_path: list[str] | None = None,
         cache_dir: str | None = None,
         meta: dict[str, Any] | None = None,
+        trace: dict[str, Any] | None = None,
     ) -> str:
         """Enqueue ``spec``; return its job id.  Idempotent per id.
 
@@ -195,6 +220,9 @@ class DurableQueue:
         import path before unpickling — tasks defined in the caller's local
         modules (e.g. a test file) stay loadable.  ``cache_dir`` names the
         artifact cache the worker should install while running this job.
+        ``trace`` carries the submitter's span context plus trace directory
+        (``{"trace_id", "span_id", "dir"}``) so the worker's ``queue.job``
+        span joins the submitter's trace (see :mod:`repro.obs.trace`).
         """
         if job_id is None:
             job_id = spec.job_id()
@@ -208,6 +236,7 @@ class DurableQueue:
             "label": spec.label,
             "enqueued_at": time.time(),
             "meta": dict(meta or {}),
+            "trace": dict(trace) if trace else None,
         }
         buffer = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
         buffer += pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
@@ -606,27 +635,98 @@ class DurableQueue:
             except OSError:
                 pass
 
+    @contextmanager
+    def _events_lock(self):
+        """Cross-process flock serialising event append / rotate / count.
+
+        Best-effort: platforms without ``fcntl`` (or an unwritable lock
+        file) fall back to unlocked operation, which every reader already
+        tolerates.
+        """
+        handle = None
+        try:
+            handle = self.events_lock_path.open("w")
+            import fcntl
+
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        except (ImportError, OSError):
+            pass
+        try:
+            yield
+        finally:
+            if handle is not None:
+                handle.close()  # closing the fd releases the flock
+
     def _log_event(self, event: str, **fields: Any) -> None:
         line = json.dumps({"event": event, "time": time.time(), **fields})
+        if obs.enabled():
+            obs.metrics.counter_add(f"queue_event_{event}", 1)
         try:
-            with self.events_path.open("a") as handle:
-                handle.write(line + "\n")
+            with self._events_lock():
+                with self.events_path.open("a") as handle:
+                    handle.write(line + "\n")
+                try:
+                    size = self.events_path.stat().st_size
+                except OSError:
+                    size = 0
+                if size > self.events_max_bytes:
+                    self._rotate_events()
         except OSError:
             pass  # telemetry only; never fail the queue operation
 
-    def _count_events(self) -> dict[str, int]:
+    def _rotate_events(self) -> None:
+        """Fold the current segment's counts into the totals file, then rotate.
+
+        Called with the events lock held.  The counts are persisted *before*
+        ``os.replace`` so lifetime counters survive any number of rotations;
+        ``events.log.1`` (clobbering the previous one) keeps one segment of
+        raw history for inspection.
+        """
+        totals = self._read_event_totals()
+        for event, count in self._scan_event_file(self.events_path).items():
+            totals[event] = totals.get(event, 0) + count
+        _atomic_write_bytes(self.events_totals_path, json.dumps(totals).encode())
+        try:
+            os.replace(self.events_path, self.root / "events.log.1")
+        except OSError:
+            pass
+
+    def _read_event_totals(self) -> dict[str, int]:
+        try:
+            payload = json.loads(self.events_totals_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        counts: dict[str, int] = {}
+        for event, count in payload.items():
+            try:
+                counts[str(event)] = int(count)
+            except (TypeError, ValueError):
+                continue
+        return counts
+
+    def _scan_event_file(self, path: Path) -> dict[str, int]:
         counts: dict[str, int] = {}
         try:
-            with self.events_path.open() as handle:
+            with path.open() as handle:
                 for line in handle:
                     try:
                         event = json.loads(line).get("event")
                     except json.JSONDecodeError:
-                        continue
+                        continue  # torn tail line mid-write/mid-rotation
                     if event:
                         counts[event] = counts.get(event, 0) + 1
         except OSError:
-            pass
+            pass  # rotated away (or never written) mid-read: count what's there
+        return counts
+
+    def _count_events(self) -> dict[str, int]:
+        """Lifetime event counters: rotated-out totals + the current segment."""
+        with self._events_lock():
+            counts = self._read_event_totals()
+            for event, count in self._scan_event_file(self.events_path).items():
+                counts[event] = counts.get(event, 0) + count
         return counts
 
 
@@ -700,6 +800,50 @@ def worker_loop(queue: DurableQueue, options: WorkerOptions | None = None) -> in
 
 
 def _run_one(
+    queue: DurableQueue,
+    lease: Lease,
+    options: WorkerOptions,
+    ran_initializers: set[str],
+) -> None:
+    """Execute one leased job inside its telemetry span (when traced).
+
+    The job header's ``trace`` block both enables telemetry in a worker
+    that was spawned before tracing was configured (it names the trace
+    directory) and parents the worker's ``queue.job`` span on the
+    submitter's span, so queue-executed work joins the same span tree as
+    pool-executed work.  Spans and metrics are flushed after every job —
+    a worker killed later loses at most the job in flight.
+    """
+    trace_info = lease.header.get("trace") if isinstance(lease.header, dict) else None
+    trace_dir = (trace_info or {}).get("dir")
+    if trace_dir and not obs.enabled():
+        obs.install_worker(trace_dir)
+    if not obs.enabled():
+        _run_leased_job(queue, lease, options, ran_initializers)
+        return
+    parent = obs.TraceContext.from_dict(trace_info) if trace_info else None
+    try:
+        with obs.trace.span(
+            "queue.job",
+            attrs={
+                "job_id": lease.job_id[:16],
+                "label": lease.spec.label,
+                "deliveries": lease.deliveries,
+                "worker": lease.worker,
+            },
+            parent=parent,
+        ):
+            _run_leased_job(queue, lease, options, ran_initializers)
+    finally:
+        # Flush *after* the span context closed, so the job's own span
+        # record is part of this job's export (not the next one's).
+        obs.metrics.counter_add("queue_jobs_run", 1)
+        if lease.deliveries > 1:
+            obs.metrics.counter_add("queue_redeliveries", 1)
+        obs.flush()
+
+
+def _run_leased_job(
     queue: DurableQueue,
     lease: Lease,
     options: WorkerOptions,
@@ -823,6 +967,7 @@ def _write_worker_heartbeat(
 
 
 __all__ = [
+    "DEFAULT_EVENTS_MAX_BYTES",
     "DEFAULT_LEASE_SECONDS",
     "WORKER_LIVENESS_SECONDS",
     "DurableQueue",

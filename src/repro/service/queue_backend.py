@@ -45,6 +45,7 @@ from concurrent.futures import BrokenExecutor, Executor, Future
 from pathlib import Path
 from typing import Any, Callable
 
+from repro import obs
 from repro.service.queue import DEFAULT_LEASE_SECONDS, DurableQueue, TaskSpec
 
 
@@ -187,6 +188,10 @@ class _QueueExecutor(Executor):
         self._respawns_left = backend.respawns
         self._processes: dict[int, subprocess.Popen] = {}
         self._reaped: set[int] = set()
+        self._deliveries = 0
+        # Reclaims are counted as a delta over this executor's lifetime so a
+        # shared queue directory's history is not attributed to this run.
+        self._initial_reclaims = self.queue._count_events().get("reclaim", 0)
         to_spawn = backend.workers if backend.workers is not None else max_workers
         for index in range(max(0, to_spawn)):
             self._spawn(index)
@@ -214,7 +219,13 @@ class _QueueExecutor(Executor):
             initializer=self._initializer,
             initargs=self._initargs,
         )
-        self.queue.put(spec, job_id=job_id, cache_dir=cache)
+        trace = None
+        if obs.enabled():
+            trace = {"dir": obs.trace_dir()}
+            context = obs.current_context()
+            if context is not None:
+                trace.update(context.as_dict())
+        self.queue.put(spec, job_id=job_id, cache_dir=cache, trace=trace)
         return future
 
     def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
@@ -255,6 +266,22 @@ class _QueueExecutor(Executor):
         for job_id in unresolved:
             self.queue.cancel(job_id)
 
+    def backend_counters(self) -> dict[str, int]:
+        """Robustness counters for the resilience layer / run records.
+
+        Collected by ``run_tasks`` *before* shutdown (an owned queue
+        directory — and its event log — is deleted then): worker respawns
+        spent by this executor, lease reclaims that happened on its watch,
+        and total job deliveries observed on resolved futures (deliveries >
+        resolved futures means redelivered work).
+        """
+        reclaims = self.queue._count_events().get("reclaim", 0) - self._initial_reclaims
+        return {
+            "respawns": self._backend.respawns - self._respawns_left,
+            "reclaims": max(0, reclaims),
+            "deliveries": self._deliveries,
+        }
+
     # ------------------------------------------------------------------
     # Supervision
     # ------------------------------------------------------------------
@@ -288,6 +315,7 @@ class _QueueExecutor(Executor):
                 result = self.queue.result(job_id)
                 if result is None:
                     continue
+                self._deliveries += max(1, result.deliveries)
                 try:
                     if result.ok:
                         future.set_result(result.value)

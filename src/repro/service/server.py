@@ -39,6 +39,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
 
+from repro import obs
+from repro.obs.metrics import iter_solver_stats as _iter_solver_stats
+from repro.obs.trace import TraceContext
 from repro.runner.cache import ArtifactCache, get_default_cache
 from repro.service.jobs import (
     JOB_RESULT_KIND,
@@ -86,8 +89,34 @@ class DeterrentService:
     # ------------------------------------------------------------------
     # Job lifecycle
     # ------------------------------------------------------------------
-    def submit(self, payload: Any) -> tuple[int, dict[str, Any]]:
-        """Handle one ``POST /jobs``; return ``(http_status, response body)``."""
+    def submit(
+        self, payload: Any, parent: TraceContext | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        """Handle one ``POST /jobs``; return ``(http_status, response body)``.
+
+        ``parent`` is the caller's trace context (decoded from an incoming
+        ``traceparent`` header): when this process traces, the submit gets
+        its own server span under it, and either way the context is shipped
+        in the queue header so the worker's ``queue.job`` span joins the
+        same tree.
+        """
+        try:
+            with obs.trace.span(
+                "service.submit", parent=parent
+            ) as span:
+                status, body = self._submit(payload, parent)
+                span.set_attr("status", status)
+                return status, body
+        finally:
+            # Flush *after* the span context closed so the submit's own
+            # record is exported with the request — the serving process
+            # may be terminated (not interrupted) and would otherwise
+            # strand it in the buffer, orphaning the worker-side spans.
+            obs.flush()
+
+    def _submit(
+        self, payload: Any, parent: TraceContext | None
+    ) -> tuple[int, dict[str, Any]]:
         with self._lock:
             self.counters["jobs_submitted"] += 1
         try:
@@ -127,11 +156,23 @@ class DeterrentService:
             args=(dict(payload),),
             label=f"service:{request.experiment}",
         )
+        trace: dict[str, Any] | None = None
+        if obs.enabled():
+            context = obs.trace.current_context()
+            trace = {"dir": obs.trace_dir()}
+            if context is not None:
+                trace.update(context.as_dict())
+        elif parent is not None:
+            # Not tracing here, but the caller is: forward its ids so a
+            # worker with its own trace dir still links into the caller's
+            # tree.
+            trace = parent.as_dict()
         self.queue.put(
             spec,
             job_id=job_id,
             cache_dir=str(self.cache.root),
             meta={"experiment": request.experiment, "profile": request.profile},
+            trace=trace,
         )
         with self._lock:
             self.counters["jobs_enqueued"] += 1
@@ -205,6 +246,22 @@ class DeterrentService:
             "solver": solver,
         }
 
+    def metrics_prometheus(self) -> tuple[int, str]:
+        """``GET /metrics?format=prometheus``: text exposition of the same data.
+
+        Every numeric leaf of the JSON payload becomes a gauge (nested keys
+        join with ``_``); when this process traces, the local telemetry
+        registry's instruments are appended with their native counter /
+        gauge / histogram types.
+        """
+        _, payload = self.metrics()
+        lines = [obs.metrics.payload_to_prometheus(payload, prefix="deterrent_")]
+        if obs.enabled():
+            registry_text = obs.metrics.registry().to_prometheus()
+            if registry_text:
+                lines.append(registry_text)
+        return 200, "\n".join(part.rstrip("\n") for part in lines if part.strip()) + "\n"
+
     def _fold_solver_stats(self, job_id: str, record: Any) -> None:
         """Accumulate a completed record's SolverStats into the aggregate.
 
@@ -225,19 +282,6 @@ class DeterrentService:
                         )
 
 
-def _iter_solver_stats(value: Any):
-    """Yield every ``solver_stats`` dict nested anywhere in ``value``."""
-    if isinstance(value, dict):
-        for key, item in value.items():
-            if key == "solver_stats" and isinstance(item, dict):
-                yield item
-            else:
-                yield from _iter_solver_stats(item)
-    elif isinstance(value, (list, tuple)):
-        for item in value:
-            yield from _iter_solver_stats(item)
-
-
 class _ServiceHandler(BaseHTTPRequestHandler):
     """Routes requests to the shared :class:`DeterrentService`."""
 
@@ -247,11 +291,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         service = self.server.service
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
         if path == "/healthz":
             self._reply(*service.healthz())
         elif path == "/metrics":
-            self._reply(*service.metrics())
+            accept = self.headers.get("Accept", "")
+            if "format=prometheus" in query or "text/plain" in accept:
+                self._reply_text(*service.metrics_prometheus())
+            else:
+                self._reply(*service.metrics())
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             if not job_id or "/" in job_id:
@@ -287,7 +336,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             self._reply(400, {"error": f"request body is not valid JSON: {error}"})
             return
-        self._reply(*self.server.service.submit(payload))
+        parent = TraceContext.from_traceparent(self.headers.get("traceparent"))
+        self._reply(*self.server.service.submit(payload, parent=parent))
 
     # ------------------------------------------------------------------
     def _reply(self, status: int, body: dict[str, Any]) -> None:
@@ -298,6 +348,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             data = json.dumps({"error": "result is not JSON-serialisable"}).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _reply_text(self, status: int, body: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
@@ -341,6 +399,7 @@ def serve(
     workers: int = 0,
     lease_seconds: float = DEFAULT_LEASE_SECONDS,
     verbose: bool = False,
+    trace_dir: str | Path | None = None,
 ) -> int:
     """Run the service until interrupted (the body of ``deterrent serve``).
 
@@ -348,9 +407,15 @@ def serve(
     ``deterrent queue-worker`` processes on the queue directory; with the
     default 0 it serves pure front-end duty and expects externally started
     workers (possibly on other machines sharing the directory).
+
+    With ``trace_dir`` the server traces every submit and exports telemetry
+    there; spawned workers inherit the directory through the environment,
+    so their ``queue.job`` spans land in the same export.
     """
     from repro.service.queue_backend import spawn_worker
 
+    if trace_dir is not None:
+        obs.configure(trace_dir)
     service = DeterrentService(queue_dir, cache_dir=cache_dir, lease_seconds=lease_seconds)
     server = make_server(service, host=host, port=port, verbose=verbose)
     spawned = []
@@ -368,6 +433,8 @@ def serve(
     print(f"deterrent service listening on http://{bound_host}:{bound_port}")
     print(f"  queue: {service.queue.root}")
     print(f"  cache: {service.cache.root}")
+    if obs.enabled():
+        print(f"  trace: {obs.trace_dir()}")
     if spawned:
         print(f"  workers: {len(spawned)} spawned (pids {[p.pid for p in spawned]})")
     try:
@@ -394,10 +461,15 @@ def http_json(
     Used by ``deterrent submit`` and the CI smoke script so neither needs a
     third-party HTTP library.  Returns ``(status, decoded body)``; HTTP
     errors with JSON bodies (e.g. a 400 validation message) are returned,
-    not raised.
+    not raised.  When the caller is inside an active span, a W3C
+    ``traceparent`` header rides along so the server (and the worker it
+    enqueues to) can join the caller's trace.
     """
     data = None
     headers = {"Accept": "application/json"}
+    context = obs.trace.current_context()
+    if context is not None:
+        headers["traceparent"] = context.to_traceparent()
     if payload is not None:
         data = json.dumps(payload).encode("utf-8")
         headers["Content-Type"] = "application/json"

@@ -383,7 +383,97 @@ class TestCompatibilityParity:
         assert serial.num_rare_nets > 0
 
 
-# Module level so the fork-based process stress test can reference it by name.
+# Module level so the fork-based process stress tests can reference it by name.
+def _flush_contender(cache_root: str, rounds: int) -> dict:
+    """One contender: miss once, flush, snapshot — ``rounds`` times over.
+
+    Every loop bumps exactly one ``misses`` count (distinct keys, so each
+    load is a true miss) and immediately folds it into the shared
+    ``stats.json``.  The interleaved :meth:`stats_snapshot` calls exercise
+    the read path against concurrent flushers from the sibling process.
+    """
+    import os
+
+    cache = ArtifactCache(cache_root)
+    for index in range(rounds):
+        cache.load("race", pid=os.getpid(), index=index)  # guaranteed miss
+        cache.flush_stats()
+        snapshot = cache.stats_snapshot()
+        # A snapshot taken mid-race may include the peer's in-flight work,
+        # but it can never go backwards past our own flushed counts.
+        assert snapshot["lifetime"]["misses"] >= index + 1
+    return cache.stats_snapshot()
+
+
+class TestConcurrentStatsFlush:
+    """Two processes flushing the same ``stats.json`` simultaneously.
+
+    The regression this guards: ``flush_stats`` used to reset the session
+    counters *outside* the advisory file lock, so a concurrent flusher (or a
+    ``stats_snapshot`` reader) could observe a half-flushed state and either
+    double-count a session or drop increments entirely.  With the detach
+    happening inside the lock, every single increment must survive.
+    """
+
+    ROUNDS = 25
+
+    def test_two_processes_flushing_simultaneously_lose_nothing(self, tmp_path):
+        import multiprocessing
+
+        cache_root = str(tmp_path / "cache")
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=2) as pool:
+            pool.starmap(_flush_contender, [(cache_root, self.ROUNDS)] * 2)
+        lifetime = ArtifactCache(cache_root).stats_snapshot()["lifetime"]
+        assert lifetime["misses"] == 2 * self.ROUNDS  # not one increment lost
+        assert lifetime["flushes"] == 2 * self.ROUNDS
+        assert lifetime["hits"] == 0
+
+    def test_thread_snapshot_never_double_counts_a_flushed_session(self, tmp_path):
+        """One thread flushes in a loop while another keeps incrementing."""
+        import threading
+
+        cache = ArtifactCache(tmp_path / "cache")
+        cache.store("race", "artifact", k=1)
+        stop = threading.Event()
+        violations: list[dict] = []
+
+        def flusher():
+            while not stop.is_set():
+                cache.flush_stats()
+
+        def watcher():
+            while not stop.is_set():
+                snapshot = cache.stats_snapshot()
+                total = snapshot["lifetime"]["hits"]
+                if total > TOTAL_HITS:  # double-counted a flushed session
+                    violations.append(snapshot)
+
+        TOTAL_HITS = 200
+        threads = [threading.Thread(target=flusher), threading.Thread(target=watcher)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(TOTAL_HITS):
+                assert cache.load("race", k=1) == "artifact"
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert violations == []
+        cache.flush_stats()
+        lifetime = cache.stats_snapshot()["lifetime"]
+        assert lifetime["hits"] == TOTAL_HITS  # conserved through all flushes
+        assert lifetime["stores"] == 1
+
+    def test_snapshot_of_a_nonexistent_root_degrades_gracefully(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "never-created")
+        snapshot = cache.stats_snapshot()
+        assert snapshot["session"] == {"hits": 0, "misses": 0, "stores": 0,
+                                       "corrupt": 0}
+        assert all(value == 0 for value in snapshot["lifetime"].values())
+
+
 def _stress_fetch(cache_root: str, count_file: str, barrier=None) -> int:
     """One contender: fetch the shared key, building only on a true miss.
 

@@ -1,0 +1,184 @@
+"""Merge parity of the telemetry layer across all four execution backends.
+
+The ISSUE's acceptance property: the same tiny grid traced on the serial,
+thread, process, and queue backends must produce (a) one connected span tree
+per run — every worker span linked back to the submitting run span — and
+(b) identical merged solver instruments, which in turn reconcile exactly
+with the per-cell ``solver_stats`` in the run record.  The grid is warmed
+once into a shared artifact cache so all four runs execute the same cached
+work and the comparison is bit-exact, not merely statistical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import iter_solver_stats, merged_snapshot
+from repro.obs.trace import build_tree, load_spans, orphan_spans
+from repro.runner.cache import set_default_cache
+from repro.runner.execution import run_experiment
+
+pytestmark = pytest.mark.obs
+
+BACKENDS = ("serial", "thread", "process", "queue")
+
+#: One 2-cell sequential_detect grid — the smallest grid where parallel
+#: backends actually schedule more than one task.
+OPTIONS = {
+    "designs": ["s13207_like"],
+    "cycles": [2, 3],
+    "modes": ["consecutive"],
+    "counts": [2],
+}
+
+
+def _run_traced(backend: str, trace_dir, cache_dir):
+    """One traced run on ``backend`` with a clean process-local registry."""
+    obs.disable()
+    obs.metrics.reset_registry()
+    obs.trace.install_remote_parent(None)
+    run = run_experiment(
+        "sequential_detect",
+        profile="tiny",
+        jobs=1 if backend == "serial" else 2,
+        options=dict(OPTIONS),
+        backend=backend,
+        cache_dir=cache_dir,
+        trace_dir=trace_dir,
+    )
+    obs.flush()
+    return run
+
+
+@pytest.fixture(scope="module")
+def traced_runs(tmp_path_factory):
+    """The same grid run on every backend: {backend: (run, trace_dir)}."""
+    cache_dir = tmp_path_factory.mktemp("shared-cache")
+    runs = {}
+    try:
+        for backend in BACKENDS:
+            trace_dir = tmp_path_factory.mktemp(f"trace-{backend}")
+            runs[backend] = (_run_traced(backend, trace_dir, cache_dir), trace_dir)
+    finally:
+        obs.disable()
+        obs.metrics.reset_registry()
+        obs.trace.install_remote_parent(None)
+        set_default_cache(None)
+    return runs
+
+
+def solver_counters(snapshot: dict) -> dict:
+    """The deterministic instruments: solver counters + cell count."""
+    counters = {
+        name: value
+        for name, value in snapshot["counters"].items()
+        if name.startswith("solver_") or name == "runner_cells"
+    }
+    counters["solver_max_trail"] = snapshot["gauges"].get("solver_max_trail")
+    return counters
+
+
+def record_solver_totals(run) -> dict:
+    """Sum the per-cell ``solver_stats`` of a run record (max for max_trail)."""
+    totals: dict[str, float] = {}
+    max_trail = 0
+    for stats in iter_solver_stats(run.record()["cells"]):
+        for key, value in stats.items():
+            if key == "max_trail":
+                max_trail = max(max_trail, value)
+            elif isinstance(value, (int, float)):
+                totals[key] = totals.get(key, 0) + value
+    totals["max_trail"] = max_trail
+    return totals
+
+
+class TestSpanLinkage:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_backend_exports_one_connected_tree(self, traced_runs, backend):
+        _, trace_dir = traced_runs[backend]
+        spans = load_spans(trace_dir)
+        assert spans, f"{backend}: no spans exported"
+        assert orphan_spans(spans) == []
+        assert len({record["trace_id"] for record in spans}) == 1
+        roots, _ = build_tree(spans)
+        assert len(roots) == 1
+        assert roots[0]["name"] == "run.sequential_detect"
+        assert roots[0]["attrs"]["backend"] == backend
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_both_cells_have_submit_and_worker_spans(self, traced_runs, backend):
+        _, trace_dir = traced_runs[backend]
+        names = [record["name"] for record in load_spans(trace_dir)]
+        # Submitting side: one manual span per scheduled cell ...
+        assert names.count("cell[0]") == 1 and names.count("cell[1]") == 1
+        # ... and the worker side executed each cell inside the same tree.
+        assert names.count("cell") == 2
+
+    def test_cold_run_traces_down_to_sequence_generation(self, traced_runs):
+        # Only the first (serial, cache-cold) run actually generates
+        # sequences — the warm backends load the cells from the shared
+        # artifact cache, so the solver spans belong to the cold run.
+        _, trace_dir = traced_runs["serial"]
+        names = [record["name"] for record in load_spans(trace_dir)]
+        assert names.count("solver.sequence_gen") == 2
+
+    def test_queue_backend_adds_job_spans(self, traced_runs):
+        _, trace_dir = traced_runs["queue"]
+        spans = load_spans(trace_dir)
+        job_spans = [record for record in spans if record["name"] == "queue.job"]
+        assert len(job_spans) == 2
+        by_id = {record["span_id"]: record for record in spans}
+        for record in job_spans:
+            assert by_id[record["parent_id"]]["name"] == "tasks.cell"
+
+
+class TestInstrumentParity:
+    def test_solver_instruments_identical_across_backends(self, traced_runs):
+        reference = None
+        for backend in BACKENDS:
+            _, trace_dir = traced_runs[backend]
+            counters = solver_counters(merged_snapshot(trace_dir))
+            assert counters["runner_cells"] == 2, backend
+            assert counters["solver_decisions"] > 0, backend
+            if reference is None:
+                reference = counters
+            else:
+                assert counters == reference, backend
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_merged_registry_reconciles_with_the_run_record(
+        self, traced_runs, backend
+    ):
+        run, trace_dir = traced_runs[backend]
+        merged = merged_snapshot(trace_dir)
+        expected = record_solver_totals(run)
+        for key, value in expected.items():
+            if key == "max_trail":
+                assert merged["gauges"]["solver_max_trail"] == value
+            else:
+                assert merged["counters"][f"solver_{key}"] == value
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_record_carries_a_matching_telemetry_block(
+        self, traced_runs, backend
+    ):
+        run, trace_dir = traced_runs[backend]
+        telemetry = run.telemetry
+        assert telemetry is not None
+        assert telemetry["trace_dir"] == str(trace_dir)
+        assert telemetry["spans"] > 0
+        assert telemetry["counters"]["runner_cells"] == 2
+
+    def test_results_are_identical_across_backends(self, traced_runs):
+        reports = {run.report_text for run, _ in traced_runs.values()}
+        assert len(reports) == 1  # telemetry never perturbs the science
+
+
+class TestQueueBackendCounters:
+    def test_resilience_counters_report_deliveries(self, traced_runs):
+        run, _ = traced_runs["queue"]
+        backend_counters = run.resilience["backend_counters"]
+        assert backend_counters["deliveries"] >= 2
+        assert backend_counters["reclaims"] == 0
+        assert backend_counters["respawns"] == 0

@@ -18,6 +18,8 @@ import urllib.request
 
 import pytest
 
+from repro import obs
+
 from repro.circuits.bench_io import dumps_bench, loads_bench
 from repro.circuits.library import load_benchmark
 from repro.runner.cache import set_default_cache
@@ -297,3 +299,100 @@ class TestHTTPEndpoints:
         assert metrics["workers"]["test-worker"]["jobs_done"] == 1
         assert metrics["cache"]["lifetime"]["stores"] >= 1
         assert metrics["solver"].get("conflicts", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# Telemetry over HTTP: Prometheus exposition + traceparent propagation
+# ----------------------------------------------------------------------
+def fetch_text(url: str, headers: dict | None = None) -> tuple[int, str]:
+    """GET a plain-text resource (http_json would try to parse JSON)."""
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, response.read().decode()
+
+
+@pytest.fixture
+def traced_service(tmp_path):
+    """A service with telemetry enabled on a throwaway trace directory."""
+    trace_dir = tmp_path / "trace"
+    obs.configure(trace_dir, export_env=False)
+    try:
+        yield trace_dir
+    finally:
+        obs.trace.flush_spans()
+        obs.disable()
+        obs.metrics.reset_registry()
+        obs.trace.install_remote_parent(None)
+
+
+class TestPrometheusExposition:
+    def test_query_parameter_selects_the_text_format(self, service_url):
+        url, _ = service_url
+        status, text = fetch_text(url + "/metrics?format=prometheus")
+        assert status == 200
+        assert "# TYPE deterrent_queue_done gauge" in text
+        assert "deterrent_queue_done 0" in text
+        assert "deterrent_service_jobs_submitted 0" in text
+
+    def test_accept_header_selects_the_text_format(self, service_url):
+        url, _ = service_url
+        status, text = fetch_text(
+            url + "/metrics", headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert text.startswith("# TYPE")
+
+    def test_default_format_stays_json(self, service_url):
+        url, _ = service_url
+        status, body = http_json(url + "/metrics")
+        assert status == 200
+        assert isinstance(body, dict) and "queue" in body
+
+    def test_registry_instruments_ride_along_when_traced(
+        self, service_url, traced_service
+    ):
+        url, _ = service_url
+        obs.metrics.counter_add("queue_jobs_run", 3)
+        status, text = fetch_text(url + "/metrics?format=prometheus")
+        assert status == 200
+        assert "# TYPE deterrent_queue_jobs_run counter" in text
+        assert "deterrent_queue_jobs_run 3" in text
+        assert "\n\n" not in text.strip()  # one well-formed exposition
+
+
+class TestTraceparentPropagation:
+    def test_submit_joins_the_callers_trace(self, service_url, traced_service):
+        url, service = service_url
+        with obs.trace.span("client.submit") as client_span:
+            # http_json injects the ambient context as a traceparent header.
+            status, body = http_json(url + "/jobs", payload=seq_payload())
+        assert status == 202 and body["status"] == "queued"
+
+        drain_one_job(service)
+        obs.flush()
+
+        from repro.obs.trace import build_tree, load_spans, orphan_spans
+
+        spans = load_spans(traced_service)
+        assert orphan_spans(spans) == []
+        assert {record["trace_id"] for record in spans} == {
+            client_span.trace_id
+        }  # one connected trace: client -> service -> queue worker
+        by_name = {record["name"]: record for record in spans}
+        assert by_name["service.submit"]["parent_id"] == client_span.span_id
+        # The span records the abbreviated job id (first 16 hex chars).
+        assert body["job_id"].startswith(by_name["queue.job"]["attrs"]["job_id"])
+        # The worker's execution hangs off the job span, not a fresh root.
+        roots, _ = build_tree(spans)
+        assert len(roots) == 1 and roots[0]["name"] == "client.submit"
+
+    def test_submission_without_a_traceparent_still_works(
+        self, service_url, traced_service
+    ):
+        url, service = service_url
+        obs.trace.install_remote_parent(None)
+        status, body = http_json(url + "/jobs", payload=seq_payload())
+        assert status == 202
+        drain_one_job(service)
+        status, done = http_json(url + "/jobs/" + body["job_id"])
+        assert done["status"] == "done"
